@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Microarchitectural ablations of the design choices DESIGN.md calls
+ * out, run with the best RoW configuration (RW+Dir, U/D, forwarding):
+ *
+ *  - Atomic Queue size (4 / 8 / 16 / 32 entries): bounds atomic MLP;
+ *  - atomic re-issue delay (0 / 4 / 8 / 16 cycles): the pipeline cost of
+ *    waking a waiting (lazy) atomic — the knob behind the §IV-E
+ *    atomic-locality window;
+ *  - lock-steal threshold (1k / 5k / 20k cycles): the deadlock-avoidance
+ *    backstop for eagerly locked lines.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+const std::vector<std::string> kSubset = {"canneal", "cq", "tpcc", "pc"};
+
+double
+normalisedParams(const std::string &w, SystemParams sp,
+                 const std::string &label)
+{
+    static std::map<std::string, RunResult> cache;
+    std::string key = w + "|" + label;
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, runExperimentParams(w, sp, label)).first;
+    const RunResult &base = cachedRun(w, eagerConfig());
+    return static_cast<double>(it->second.cycles) /
+           static_cast<double>(base.cycles);
+}
+
+SystemParams
+bestRow()
+{
+    return makeParams(rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::UpDown, true),
+                      32, 1);
+}
+
+void
+sweepRow(benchmark::State &state, const std::string &dim,
+         const std::string &label, SystemParams sp)
+{
+    for (auto _ : state) {
+        double log_sum = 0;
+        for (const auto &w : kSubset) {
+            double n = normalisedParams(w, sp, dim + "_" + label);
+            table("Microarchitecture ablations (RoW RW+Dir U/D +fwd, "
+                  "normalized time)")
+                .cell(w, dim + "=" + label, n);
+            log_sum += std::log(n);
+        }
+        double g = std::exp(log_sum / kSubset.size());
+        state.counters["geomean"] = g;
+        table().cell("geomean", dim + "=" + label, g);
+    }
+}
+
+const int registered = [] {
+    for (unsigned aq : {4u, 8u, 16u, 32u}) {
+        SystemParams sp = bestRow();
+        sp.core.aqEntries = aq;
+        benchmark::RegisterBenchmark(
+            ("ablation/aq/" + std::to_string(aq)).c_str(), sweepRow, "aq",
+            std::to_string(aq), sp)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    for (unsigned delay : {0u, 4u, 8u, 16u}) {
+        SystemParams sp = bestRow();
+        sp.core.atomicReissueDelay = delay;
+        benchmark::RegisterBenchmark(
+            ("ablation/reissue/" + std::to_string(delay)).c_str(),
+            sweepRow, "reissue", std::to_string(delay), sp)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    for (Cycle steal : {1000u, 5000u, 20000u}) {
+        SystemParams sp = bestRow();
+        sp.mem.lockStealThreshold = steal;
+        benchmark::RegisterBenchmark(
+            ("ablation/locksteal/" + std::to_string(steal)).c_str(),
+            sweepRow, "steal", std::to_string(steal), sp)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

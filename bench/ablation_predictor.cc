@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Predictor ablations beyond the paper's main figures:
+ *
+ *  - update rules: UpDown vs Saturate-on-Contention vs the +2/-1 variant
+ *    the paper evaluated and rejected (§IV-D);
+ *  - table size: 64 / 16 / 4 / 1 entries — shrinking the XOR-indexed
+ *    table aliases contended and uncontended atomics onto one counter,
+ *    which §IV-D reports degrades the lazy-loving workloads back toward
+ *    eager (1 entry: -0.3% vs eager on average).
+ *
+ * Run on a representative subset (one workload per behaviour class) to
+ * keep the sweep fast.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+const std::vector<std::string> kSubset = {"canneal", "cq", "barnes",
+                                          "streamcluster", "tpcc", "pc"};
+
+void
+updateRule(benchmark::State &state, PredictorUpdate upd)
+{
+    for (auto _ : state) {
+        ExpConfig cfg = rowConfig(ContentionDetector::RWDir, upd);
+        double log_sum = 0;
+        for (const auto &w : kSubset) {
+            double n = normalised(w, cfg);
+            table("Predictor ablation — update rule / table size "
+                  "(normalized time)")
+                .cell(w, cfg.label, n);
+            log_sum += std::log(n);
+        }
+        double g = std::exp(log_sum / kSubset.size());
+        state.counters["geomean"] = g;
+        table().cell("geomean", cfg.label, g);
+    }
+}
+
+void
+tableSize(benchmark::State &state, unsigned entries)
+{
+    for (auto _ : state) {
+        ExpConfig cfg = rowConfig(ContentionDetector::RWDir,
+                                  PredictorUpdate::SaturateOnContention);
+        cfg.predictorEntries = entries;
+        cfg.label = "Sat_" + std::to_string(entries) + "e";
+        double log_sum = 0;
+        for (const auto &w : kSubset) {
+            double n = normalised(w, cfg);
+            table().cell(w, cfg.label, n);
+            log_sum += std::log(n);
+        }
+        double g = std::exp(log_sum / kSubset.size());
+        state.counters["geomean"] = g;
+        table().cell("geomean", cfg.label, g);
+    }
+}
+
+void
+detector(benchmark::State &state, ContentionDetector det)
+{
+    // RW vs RW+Dir (latency heuristic) vs RW+DirNotify (the explicit
+    // directory-notification alternative §IV-C mentions and rejects).
+    for (auto _ : state) {
+        ExpConfig cfg = rowConfig(det,
+                                  PredictorUpdate::SaturateOnContention);
+        double log_sum = 0;
+        for (const auto &w : kSubset) {
+            double n = normalised(w, cfg);
+            table().cell(w, cfg.label, n);
+            log_sum += std::log(n);
+        }
+        double g = std::exp(log_sum / kSubset.size());
+        state.counters["geomean"] = g;
+        table().cell("geomean", cfg.label, g);
+    }
+}
+
+const int registered = [] {
+    for (auto det : {ContentionDetector::RW, ContentionDetector::RWDir,
+                     ContentionDetector::RWDirNotify}) {
+        ExpConfig cfg = rowConfig(det,
+                                  PredictorUpdate::SaturateOnContention);
+        benchmark::RegisterBenchmark(
+            ("ablation/detector/" + cfg.label).c_str(), detector, det)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    for (auto upd : {PredictorUpdate::UpDown,
+                     PredictorUpdate::SaturateOnContention,
+                     PredictorUpdate::TwoUpOneDown}) {
+        ExpConfig cfg = rowConfig(ContentionDetector::RWDir, upd);
+        benchmark::RegisterBenchmark(
+            ("ablation/update/" + cfg.label).c_str(), updateRule, upd)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    for (unsigned entries : {64u, 16u, 4u, 1u}) {
+        benchmark::RegisterBenchmark(
+            ("ablation/entries/" + std::to_string(entries)).c_str(),
+            tableSize, entries)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benchmarks.
+ *
+ * Every bench binary regenerates one table/figure of the paper: it runs
+ * the required (workload, config) simulations through google-benchmark
+ * (one benchmark per bar/point, Iterations(1), simulated metrics exposed
+ * as counters) and then prints the figure's rows in paper order.
+ *
+ * Simulations are memoized per process so a baseline shared by many bars
+ * (e.g. eager) runs once.
+ */
+
+#ifndef ROWSIM_BENCH_COMMON_HH
+#define ROWSIM_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+
+namespace rowsim::bench
+{
+
+/** Memoized experiment execution (keyed by workload + config label). */
+inline const RunResult &
+cachedRun(const std::string &workload, const ExpConfig &cfg,
+          unsigned cores = 32, std::uint64_t quota = 0)
+{
+    static std::map<std::string, RunResult> cache;
+    std::string key = workload + "|" + cfg.label + "|" +
+                      std::to_string(cores) + "|" + std::to_string(quota);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, runExperiment(workload, cfg, cores,
+                                              quota)).first;
+    return it->second;
+}
+
+/** Normalised execution time vs the eager-no-forwarding baseline, the
+ *  normalisation every figure in the paper uses. */
+inline double
+normalised(const std::string &workload, const ExpConfig &cfg,
+           unsigned cores = 32)
+{
+    const RunResult &base = cachedRun(workload, eagerConfig(), cores);
+    const RunResult &r = cachedRun(workload, cfg, cores);
+    return static_cast<double>(r.cycles) / static_cast<double>(base.cycles);
+}
+
+/** Row collector: benchmarks append cells; main() prints the table. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void
+    cell(const std::string &row, const std::string &col, double value)
+    {
+        cols_.insert({col, cols_.size()});
+        rows_.insert({row, rows_.size()});
+        values_[{row, col}] = value;
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::string> cols(cols_.size()), rows(rows_.size());
+        for (const auto &kv : cols_)
+            cols[kv.second] = kv.first;
+        for (const auto &kv : rows_)
+            rows[kv.second] = kv.first;
+
+        std::printf("\n=== %s ===\n%-15s", title_.c_str(), "");
+        for (const auto &c : cols)
+            std::printf(" %12s", c.c_str());
+        std::printf("\n");
+        for (const auto &r : rows) {
+            std::printf("%-15s", r.c_str());
+            for (const auto &c : cols) {
+                auto it = values_.find({r, c});
+                if (it == values_.end())
+                    std::printf(" %12s", "-");
+                else
+                    std::printf(" %12.3f", it->second);
+            }
+            std::printf("\n");
+        }
+        std::fflush(stdout);
+    }
+
+  private:
+    std::string title_;
+    std::map<std::string, std::size_t> cols_;
+    std::map<std::string, std::size_t> rows_;
+    std::map<std::pair<std::string, std::string>, double> values_;
+};
+
+inline Table &
+table(const char *title = "")
+{
+    static Table t(title);
+    return t;
+}
+
+/** Geometric mean over the atomic-intensive workloads of a metric. */
+inline double
+geomean(const std::function<double(const std::string &)> &metric)
+{
+    double log_sum = 0;
+    unsigned n = 0;
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        log_sum += std::log(metric(w));
+        n++;
+    }
+    return std::exp(log_sum / n);
+}
+
+/** Standard main: run benchmarks, then print the collected table. */
+#define ROWSIM_BENCH_MAIN()                                              \
+    int main(int argc, char **argv)                                      \
+    {                                                                    \
+        ::benchmark::Initialize(&argc, argv);                            \
+        ::benchmark::RunSpecifiedBenchmarks();                           \
+        ::rowsim::bench::table().print();                                \
+        ::benchmark::Shutdown();                                         \
+        return 0;                                                        \
+    }
+
+} // namespace rowsim::bench
+
+#endif // ROWSIM_BENCH_COMMON_HH

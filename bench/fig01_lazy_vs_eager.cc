@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 1: normalized execution time of lazy vs eager execution of
+ * unfenced atomic RMWs, over the atomic-intensive workloads in the
+ * paper's order (best -> worst eager-vs-lazy speedup).
+ *
+ * Paper shape: canneal/freqmine ~1.4-1.7 (eager wins big), the middle of
+ * the field near 1.0, and tpcc/sps/pc well below 1 (lazy wins ~2x).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+void
+lazyVsEager(benchmark::State &state, const std::string &workload)
+{
+    for (auto _ : state) {
+        const RunResult &eager = cachedRun(workload, eagerConfig());
+        const RunResult &lazy = cachedRun(workload, lazyConfig());
+        state.counters["eager_cycles"] =
+            static_cast<double>(eager.cycles);
+        state.counters["lazy_cycles"] = static_cast<double>(lazy.cycles);
+        const double norm = static_cast<double>(lazy.cycles) /
+                            static_cast<double>(eager.cycles);
+        state.counters["lazy_norm"] = norm;
+        table("Fig. 1 — normalized execution time (lazy vs eager)")
+            .cell(workload, "eager", 1.0);
+        table().cell(workload, "lazy", norm);
+    }
+}
+
+const int registered = [] {
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        benchmark::RegisterBenchmark(("fig01/" + w).c_str(), lazyVsEager,
+                                     w)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

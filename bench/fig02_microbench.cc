@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 2: cycles per iteration of the §II-A microbenchmark — FAA / CAS /
+ * SWAP, with and without the lock prefix and explicit mfences, on the
+ * "old" (fenced, Kentsfield-like) and "new" (unfenced, Coffee-Lake-like)
+ * simulated microarchitectures.
+ *
+ * Paper shape: old core — adding the lock prefix ~doubles (here: fences)
+ * the cost and an extra mfence changes nothing; new core — the lock
+ * prefix is nearly free while mfences serialise everything. SWAP behaves
+ * locked in all variants (x86 xchg rule).
+ */
+
+#include "bench/bench_common.hh"
+#include "sim/microbench.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+void
+micro(benchmark::State &state, MicrobenchVariant v)
+{
+    for (auto _ : state) {
+        const double cpi = microbenchCyclesPerIter(v, 1500);
+        state.counters["cycles_per_iter"] = cpi;
+        std::string row = std::string(v.oldCore ? "old" : "new") + "/" +
+                          rmwKindName(v.kind);
+        std::string col = std::string(v.lockPrefix ? "lock" : "plain") +
+                          (v.mfence ? "+mfence" : "");
+        table("Fig. 2 — microbenchmark cycles per iteration")
+            .cell(row, col, cpi);
+    }
+}
+
+const int registered = [] {
+    for (bool old_core : {true, false}) {
+        for (RmwKind k : {RmwKind::FAA, RmwKind::CAS, RmwKind::SWAP}) {
+            for (bool lock : {false, true}) {
+                for (bool mfence : {false, true}) {
+                    MicrobenchVariant v;
+                    v.kind = k;
+                    v.lockPrefix = lock;
+                    v.mfence = mfence;
+                    v.oldCore = old_core;
+                    std::string name =
+                        std::string("fig02/") +
+                        (old_core ? "old" : "new") + "/" +
+                        rmwKindName(k) + (lock ? "/lock" : "/plain") +
+                        (mfence ? "/mfence" : "");
+                    benchmark::RegisterBenchmark(name.c_str(), micro, v)
+                        ->Unit(benchmark::kMillisecond)
+                        ->Iterations(1);
+                }
+            }
+        }
+    }
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 5: atomics per 10 kilo-instructions (bars) and the percentage of
+ * atomics that face contention under eager execution (line), per
+ * workload.
+ *
+ * Paper shape: the applications at both ends of the Fig. 1 ordering are
+ * the most atomic-intensive; tpcc/sps/pc combine high intensity with
+ * high contentiousness, canneal/freqmine are intense but uncontended.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+void
+intensity(benchmark::State &state, const std::string &workload)
+{
+    for (auto _ : state) {
+        const RunResult &r = cachedRun(workload, eagerConfig());
+        state.counters["atomics_per_10k"] = r.atomicsPer10k;
+        state.counters["contended_pct"] = r.contendedPct;
+        table("Fig. 5 — atomic intensity and contentiousness (eager)")
+            .cell(workload, "at/10k-inst", r.atomicsPer10k);
+        table().cell(workload, "contended%", r.contendedPct);
+    }
+}
+
+const int registered = [] {
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        benchmark::RegisterBenchmark(("fig05/" + w).c_str(), intensity, w)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 10: sensitivity of the RW+Dir contention-detection mechanism to
+ * the remote-fill latency threshold (0, 100, 400, 1000, 2000, inf).
+ *
+ * Paper shape: very flat — the mechanism rides on top of RW. Threshold 0
+ * taxes atomic-intensive uncontended apps (every remote fill looks
+ * contended); infinity degrades to plain RW; 400 is the sweet spot and
+ * anything in [400, 2000] is nearly indistinguishable.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+constexpr Cycle kThresholds[] = {0, 100, 400, 1000, 2000,
+                                 16000 /* ~inf for 14-bit timestamps */};
+
+std::string
+thresholdName(Cycle t)
+{
+    return t >= 16000 ? "inf" : std::to_string(t);
+}
+
+void
+sweep(benchmark::State &state, const std::string &workload, Cycle thresh)
+{
+    for (auto _ : state) {
+        ExpConfig cfg = rowConfig(ContentionDetector::RWDir,
+                                  PredictorUpdate::SaturateOnContention);
+        cfg.latencyThreshold = thresh;
+        cfg.label = "thr_" + thresholdName(thresh);
+        const double norm = normalised(workload, cfg);
+        state.counters["norm_time"] = norm;
+        table("Fig. 10 — RW+Dir latency-threshold sensitivity")
+            .cell(workload, thresholdName(thresh), norm);
+    }
+}
+
+void
+summary(benchmark::State &state)
+{
+    for (auto _ : state) {
+        for (Cycle t : kThresholds) {
+            ExpConfig cfg = rowConfig(
+                ContentionDetector::RWDir,
+                PredictorUpdate::SaturateOnContention);
+            cfg.latencyThreshold = t;
+            cfg.label = "thr_" + thresholdName(t);
+            double g = geomean([&](const std::string &w) {
+                return normalised(w, cfg);
+            });
+            state.counters[thresholdName(t)] = g;
+            table().cell("geomean", thresholdName(t), g);
+        }
+    }
+}
+
+const int registered = [] {
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        for (Cycle t : kThresholds) {
+            std::string name = "fig10/" + w + "/thr_" + thresholdName(t);
+            benchmark::RegisterBenchmark(name.c_str(), sweep, w, t)
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(1);
+        }
+    }
+    benchmark::RegisterBenchmark("fig10/geomean", summary)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

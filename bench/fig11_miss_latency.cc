@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 11: average L1D miss latency over all memory instructions for
+ * eager, lazy, and RoW with the RW+Dir U/D and Sat predictors.
+ *
+ * Paper shape: on the contended workloads (pc, sps, tpcc) eager nearly
+ * doubles the miss latency of lazy — the cost other threads pay for long
+ * cache locks — and RoW tracks lazy; on uncontended workloads the four
+ * bars are nearly equal; on cq/barnes, lazy and RoW-without-forwarding
+ * pay extra latency from the lost atomic locality.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+void
+missLatency(benchmark::State &state, const std::string &workload)
+{
+    for (auto _ : state) {
+        const RunResult &e = cachedRun(workload, eagerConfig());
+        const RunResult &l = cachedRun(workload, lazyConfig());
+        const RunResult &ud = cachedRun(
+            workload,
+            rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown));
+        const RunResult &sat = cachedRun(
+            workload, rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::SaturateOnContention));
+        state.counters["eager"] = e.missLatency;
+        state.counters["lazy"] = l.missLatency;
+        state.counters["row_ud"] = ud.missLatency;
+        state.counters["row_sat"] = sat.missLatency;
+        auto &t = table("Fig. 11 — L1D miss latency (cycles)");
+        t.cell(workload, "eager", e.missLatency);
+        t.cell(workload, "lazy", l.missLatency);
+        t.cell(workload, "RW+Dir_U/D", ud.missLatency);
+        t.cell(workload, "RW+Dir_Sat", sat.missLatency);
+    }
+}
+
+const int registered = [] {
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        benchmark::RegisterBenchmark(("fig11/" + w).c_str(), missLatency,
+                                     w)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

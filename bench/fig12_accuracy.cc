@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 12: accuracy of the contention prediction — how often the U/D and
+ * Sat predictors' calls agree with what the RW+Dir detector subsequently
+ * observes for that atomic.
+ *
+ * Paper shape: U/D is the more accurate predictor (~86% vs ~73%); the
+ * Sat predictor over-commits to "contended" on workloads whose atomics
+ * are only intermittently contended, which costs accuracy but not
+ * necessarily performance.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace rowsim;
+using namespace rowsim::bench;
+
+namespace
+{
+
+void
+accuracy(benchmark::State &state, const std::string &workload)
+{
+    for (auto _ : state) {
+        const RunResult &ud = cachedRun(
+            workload,
+            rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown));
+        const RunResult &sat = cachedRun(
+            workload, rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::SaturateOnContention));
+        state.counters["ud_accuracy_pct"] = ud.predAccuracy;
+        state.counters["sat_accuracy_pct"] = sat.predAccuracy;
+        table("Fig. 12 — contention-prediction accuracy (%)")
+            .cell(workload, "U/D", ud.predAccuracy);
+        table().cell(workload, "Sat", sat.predAccuracy);
+    }
+}
+
+void
+average(benchmark::State &state)
+{
+    for (auto _ : state) {
+        double ud = 0, sat = 0;
+        unsigned n = 0;
+        for (const auto &w : atomicIntensiveWorkloads()) {
+            ud += cachedRun(w, rowConfig(ContentionDetector::RWDir,
+                                         PredictorUpdate::UpDown))
+                      .predAccuracy;
+            sat += cachedRun(w,
+                             rowConfig(
+                                 ContentionDetector::RWDir,
+                                 PredictorUpdate::SaturateOnContention))
+                       .predAccuracy;
+            n++;
+        }
+        state.counters["ud_mean"] = ud / n;
+        state.counters["sat_mean"] = sat / n;
+        table().cell("average", "U/D", ud / n);
+        table().cell("average", "Sat", sat / n);
+    }
+}
+
+const int registered = [] {
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        benchmark::RegisterBenchmark(("fig12/" + w).c_str(), accuracy, w)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    benchmark::RegisterBenchmark("fig12/average", average)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    return 0;
+}();
+
+} // namespace
+
+ROWSIM_BENCH_MAIN()

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Predictor playground: feed the RoW contention predictor a
+ * phase-changing workload — atomics that alternate between a contended
+ * and an uncontended phase — and watch how fast the UpDown and
+ * Saturate-on-Contention policies adapt in each direction (§IV-D).
+ *
+ *   ./build/examples/predictor_playground
+ */
+
+#include <cstdio>
+
+#include "row/predictor.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+void
+playPhases(PredictorUpdate update, const char *name)
+{
+    RowConfig cfg;
+    cfg.update = update;
+    ContentionPredictor p(cfg);
+    const Addr pc = 0x9000;
+
+    std::printf("\n--- %s ---\n", name);
+    std::printf("%-24s %8s %8s\n", "phase", "updates", "lazy%");
+
+    auto phase = [&](const char *label, bool contended, int len) {
+        int lazy = 0;
+        for (int i = 0; i < len; i++) {
+            if (p.predictContended(pc))
+                lazy++;
+            p.update(pc, contended);
+        }
+        std::printf("%-24s %8d %7.0f%%\n", label, len,
+                    100.0 * lazy / len);
+    };
+
+    phase("warmup (uncontended)", false, 32);
+    phase("phase 1: contended", true, 32);
+    phase("phase 2: calm", false, 32);
+    phase("phase 3: contended", true, 32);
+    phase("phase 4: calm again", false, 32);
+
+    const auto &st = p.stats();
+    std::printf("overall accuracy: %.0f%% (%llu/%llu)\n",
+                100.0 * st.counterValue("correct") /
+                    static_cast<double>(st.counterValue("updates")),
+                static_cast<unsigned long long>(st.counterValue("correct")),
+                static_cast<unsigned long long>(
+                    st.counterValue("updates")));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("RoW contention predictor under phase changes\n");
+    std::printf("(64 entries x 4-bit counters, XOR-indexed; storage = 32 "
+                "bytes)\n");
+
+    playPhases(PredictorUpdate::UpDown, "UpDown (+1/-1, lazy if ctr > 1)");
+    playPhases(PredictorUpdate::SaturateOnContention,
+               "Saturate-on-Contention (max on hit, -1, lazy if ctr > 0)");
+
+    std::printf("\nTakeaway: Sat flips to lazy instantly but needs 15 calm "
+                "updates to flip back;\nU/D is symmetric and tracks "
+                "alternating phases more accurately (Fig. 12).\n");
+    return 0;
+}

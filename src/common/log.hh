@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging: panic() for internal invariant violations,
+ * fatal() for user configuration errors, warn()/inform() for diagnostics.
+ */
+
+#ifndef ROWSIM_COMMON_LOG_HH
+#define ROWSIM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rowsim
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Abort on a simulator bug: a condition that must never happen. */
+#define ROWSIM_PANIC(...) \
+    ::rowsim::panicImpl(__FILE__, __LINE__, ::rowsim::strprintf(__VA_ARGS__))
+
+/** Exit on a user error (bad configuration, invalid parameters). */
+#define ROWSIM_FATAL(...) \
+    ::rowsim::fatalImpl(__FILE__, __LINE__, ::rowsim::strprintf(__VA_ARGS__))
+
+#define ROWSIM_WARN(...) \
+    ::rowsim::warnImpl(::rowsim::strprintf(__VA_ARGS__))
+
+#define ROWSIM_INFORM(...) \
+    ::rowsim::informImpl(::rowsim::strprintf(__VA_ARGS__))
+
+/** Assert-like helper that survives NDEBUG builds. */
+#define ROWSIM_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::rowsim::panicImpl(__FILE__, __LINE__,                        \
+                std::string("assertion failed: " #cond " — ") +            \
+                ::rowsim::strprintf(__VA_ARGS__));                         \
+        }                                                                  \
+    } while (0)
+
+} // namespace rowsim
+
+#endif // ROWSIM_COMMON_LOG_HH

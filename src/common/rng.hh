@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in the simulator (workload address streams,
+ * branch outcomes, think times) draws from a seeded xoshiro256** instance so
+ * that a given (seed, configuration) pair always reproduces the same
+ * execution, cycle for cycle.
+ */
+
+#ifndef ROWSIM_COMMON_RNG_HH
+#define ROWSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace rowsim
+{
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna). Small, fast, and of far higher
+ * quality than std::minstd; unlike std::mt19937 its state is 32 bytes,
+ * which matters when every thread context embeds one.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 expansion of the seed into the four state words.
+        std::uint64_t x = seed;
+        for (auto &w : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free reduction is fine here:
+        // slight non-uniformity for huge bounds is irrelevant to workloads.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_COMMON_RNG_HH

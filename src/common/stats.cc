@@ -1,0 +1,41 @@
+#include "common/stats.hh"
+
+namespace rowsim
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Average &
+StatGroup::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Average *
+StatGroup::findAverage(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    return it == averages_.end() ? nullptr : &it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : averages_)
+        kv.second.reset();
+}
+
+} // namespace rowsim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named counters/histograms in a StatGroup; the
+ * experiment harness reads them by name to build the paper's figures.
+ */
+
+#ifndef ROWSIM_COMMON_STATS_HH
+#define ROWSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+/** A scalar event counter. */
+class Counter
+{
+  public:
+    void operator++(int) { value_ += 1; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max of a sampled quantity (e.g. a latency). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        if (v < min_ || count_ == 1)
+            min_ = v;
+        if (v > max_ || count_ == 1)
+            max_ = v;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Fixed-bucket histogram for distribution statistics. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+        ROWSIM_ASSERT(hi > lo && buckets > 0, "bad histogram bounds");
+    }
+
+    void
+    sample(double v)
+    {
+        avg_.sample(v);
+        if (v < lo_) {
+            underflow_++;
+        } else if (v >= hi_) {
+            overflow_++;
+        } else {
+            auto idx = static_cast<std::size_t>(
+                (v - lo_) / (hi_ - lo_) * counts_.size());
+            counts_[idx]++;
+        }
+    }
+
+    void
+    reset()
+    {
+        avg_.reset();
+        underflow_ = 0;
+        overflow_ = 0;
+        for (auto &c : counts_)
+            c = 0;
+    }
+
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const Average &summary() const { return avg_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    Average avg_;
+};
+
+/**
+ * A named bag of statistics. Components own one and register their
+ * counters; System aggregates per-core groups for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &name);
+    Average &average(const std::string &name);
+
+    /** Read a counter by name; 0 if it was never created. */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** Read an average by name; default-constructed if absent. */
+    const Average *findAverage(const std::string &name) const;
+
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Average> &averages() const
+    {
+        return averages_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_COMMON_STATS_HH

@@ -1,0 +1,1133 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/memsystem.hh"
+
+namespace rowsim
+{
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::AtomicRMW: return "AtomicRMW";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Fence: return "Fence";
+      case OpClass::Nop: return "Nop";
+    }
+    return "?";
+}
+
+const char *
+atomicOpName(AtomicOp a)
+{
+    switch (a) {
+      case AtomicOp::FetchAdd: return "FetchAdd";
+      case AtomicOp::CompareSwap: return "CompareSwap";
+      case AtomicOp::Swap: return "Swap";
+    }
+    return "?";
+}
+
+Core::Core(CoreId id, const CoreParams &p, PrivateCache *c,
+           FunctionalMemory *fm, InstStream *s)
+    : coreId(id), params(p), cache(c), fmem(fm), stream(s),
+      robSlots(p.robEntries), lq(p.lqEntries), sq(p.sbEntries),
+      aq(p.aqEntries), storeSet(), rowPredictor(p.row),
+      stats_(strprintf("core%u", id))
+{
+    cache->setClient(this);
+}
+
+Core::RobEntry &
+Core::rob(SeqNum seq)
+{
+    return robSlots[seq % robSlots.size()];
+}
+
+const Core::RobEntry &
+Core::rob(SeqNum seq) const
+{
+    return robSlots[seq % robSlots.size()];
+}
+
+bool
+Core::inFlight(SeqNum seq) const
+{
+    return seq > commitSeq && seq < nextSeq;
+}
+
+unsigned
+Core::robCount() const
+{
+    return static_cast<unsigned>(nextSeq - 1 - commitSeq);
+}
+
+std::uint64_t
+Core::token(const RobEntry &e) const
+{
+    return (static_cast<std::uint64_t>(e.replayGen) << 48) | e.seq;
+}
+
+void
+Core::pushReady(SeqNum seq, Cycle now)
+{
+    RobEntry &e = rob(seq);
+    if (e.readyCycle == invalidCycle)
+        e.readyCycle = now;
+    if (e.op.cls == OpClass::AtomicRMW && e.aqIdx >= 0) {
+        AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+        if (a.readyCycle == invalidCycle)
+            a.readyCycle = now;
+    }
+    readyQueue.push(seq);
+}
+
+void
+Core::scheduleCompletion(SeqNum seq, Cycle when)
+{
+    completions.emplace(when, std::make_pair(seq, rob(seq).replayGen));
+}
+
+std::uint64_t
+Core::atomicModify(const MicroOp &op, std::uint64_t old) const
+{
+    switch (op.aop) {
+      case AtomicOp::FetchAdd:
+        return old + op.value;
+      case AtomicOp::Swap:
+        return op.value;
+      case AtomicOp::CompareSwap:
+        // The expected value is the current content unless the workload
+        // injects a deliberate mismatch; a failed CAS writes nothing
+        // (modelled as rewriting the old value).
+        return op.casExpectMismatch ? old : op.value;
+    }
+    return old;
+}
+
+// ---------------------------------------------------------------------
+// MemClient interface
+// ---------------------------------------------------------------------
+
+bool
+Core::lineLocked(Addr line) const
+{
+    return aq.lineLocked(line);
+}
+
+void
+Core::externalRequestSnoop(Addr line, Cycle now)
+{
+    (void)now;
+    const ContentionDetector det = params.row.detector;
+    aq.forEachMatching(line, [det](AqEntry &e) {
+        if (det == ContentionDetector::EW) {
+            if (e.locked)
+                e.contended = true; // execution window only (§IV-A)
+        } else {
+            e.contended = true; // ready window (§IV-B)
+        }
+    });
+}
+
+void
+Core::oracleContentionHint(Addr line, Cycle now)
+{
+    (void)now;
+    aq.forEachMatching(line, [](AqEntry &e) { e.oracleContended = true; });
+}
+
+void
+Core::accessDone(const MemResult &r)
+{
+    if (r.token & sbWriteToken) {
+        // A store-buffer write completed. Post-commit, so it must not
+        // touch the ROB (the slot may have been reused): the token
+        // carries the SQ index directly.
+        const auto idx = static_cast<unsigned>(r.token & ~sbWriteToken);
+        SqEntry &s = sq.entry(idx);
+        ROWSIM_ASSERT(s.valid && s.committed && s.writeInFlight,
+                      "store write completion mismatch (sq idx %u)", idx);
+        s.written = true;
+        s.writeInFlight = false;
+        stats_.counter("storeWrites")++;
+        storeWritten(s.seq, s.addr, r.doneCycle);
+        return;
+    }
+
+    const SeqNum seq = r.token & 0xffffffffffffULL;
+    const auto gen = static_cast<std::uint16_t>(r.token >> 48);
+    if (!inFlight(seq))
+        return; // long gone
+    RobEntry &e = rob(seq);
+    if (e.seq != seq || e.replayGen != gen)
+        return; // stale completion from a replayed access
+
+    ROWSIM_ASSERT(e.op.cls == OpClass::Load, "unexpected accessDone class");
+    e.result = r.value;
+    stats_.counter(r.source == FillSource::L1Hit ? "loadL1Hits"
+                                                 : "loadL1Misses")++;
+    completeOp(seq, r.doneCycle);
+}
+
+void
+Core::acquireLock(RobEntry &e, FillSource source, Cycle now)
+{
+    AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+    a.locked = true;
+    a.lockCycle = now;
+    a.lockSource = source;
+
+    // Directory latency detector (§IV-C): a fill from a remote private
+    // cache whose 14-bit-wrapped latency exceeds the threshold means the
+    // line was contended.
+    // Directory-notification extension: the directory saw concurrent
+    // interest in this transaction.
+    if (params.row.detector == ContentionDetector::RWDirNotify &&
+        e.fillContentionHint) {
+        a.contended = true;
+    }
+    if (params.row.detector == ContentionDetector::RWDir &&
+        source == FillSource::RemoteCache && a.timestampValid) {
+        const std::uint16_t mask =
+            static_cast<std::uint16_t>((1u << params.row.timestampBits) - 1);
+        const std::uint16_t lat =
+            static_cast<std::uint16_t>((now - a.issuedCycle14) & mask);
+        stats_.average("atomicRemoteFillLatency").sample(lat);
+        if (lat > params.row.latencyThreshold)
+            a.contended = true;
+    }
+
+    // Read under the lock, compute the modify result.
+    e.result = fmem->read64(a.addr);
+    e.atomicNewValue = atomicModify(e.op, e.result);
+    e.astate = AState::Locked;
+    SqEntry &stu = sq.entry(static_cast<unsigned>(e.sqIdx));
+    stu.value = e.atomicNewValue;
+    stu.valueReady = true;
+
+    Cycle read_latency;
+    switch (source) {
+      case FillSource::L1Hit:
+        read_latency = 5;
+        break;
+      case FillSource::L2Hit:
+        read_latency = 12;
+        break;
+      default:
+        read_latency = 2; // fill-to-use after a miss
+        break;
+    }
+    scheduleCompletion(e.seq, now + read_latency + 1);
+    pokeWaitingLocks(now);
+}
+
+void
+Core::pokeWaitingLocks(Cycle now)
+{
+    // Locks engage in AQ order; after every lock/unlock event, the next
+    // WaitLock atomic may proceed (if its line survived unlocked).
+    aq.forEach([this, now](AqEntry &a) {
+        if (!a.valid || a.locked)
+            return;
+        if (!inFlight(a.seq))
+            return;
+        RobEntry &e = rob(a.seq);
+        if (e.astate != AState::WaitLock || !aq.olderAllLocked(a.seq))
+            return;
+        if (cache->lineState(a.line()) == CacheState::Modified) {
+            acquireLock(e, FillSource::L1Hit, now);
+        } else {
+            // The line was stolen while waiting its turn: refetch.
+            e.astate = AState::MemIssued;
+            MemAccess m;
+            m.addr = a.addr;
+            m.token = token(e);
+            m.needExclusive = true;
+            m.isAtomic = true;
+            stats_.counter("lockWaitRefetches")++;
+            cache->access(m, now);
+        }
+    });
+}
+
+void
+Core::atomicLineReady(std::uint64_t tok, Addr line, FillSource source,
+                      Cycle netIssueCycle, bool contentionHint, Cycle now)
+{
+    (void)netIssueCycle;
+    const SeqNum seq = tok & 0xffffffffffffULL;
+    const auto gen = static_cast<std::uint16_t>(tok >> 48);
+    RobEntry &e = rob(seq);
+    ROWSIM_ASSERT(e.seq == seq && e.replayGen == gen,
+                  "stale atomicLineReady (seq %llu)",
+                  static_cast<unsigned long long>(seq));
+    ROWSIM_ASSERT(e.astate == AState::MemIssued,
+                  "atomicLineReady in state %d", static_cast<int>(e.astate));
+
+    AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+    ROWSIM_ASSERT(a.seq == seq && a.line() == line, "AQ mismatch at lock");
+    e.fillContentionHint = contentionHint;
+
+    if (!aq.olderAllLocked(seq)) {
+        // An older atomic has not engaged its lock yet. Locking now would
+        // stall other cores for the older atomic's entire (possibly
+        // contended) acquisition — and can deadlock across cores. The
+        // line stays unlocked in M; we lock when our turn comes, or
+        // refetch if it gets stolen meanwhile.
+        e.astate = AState::WaitLock;
+        stats_.counter("lockWaits")++;
+        return;
+    }
+
+    acquireLock(e, source, now);
+}
+
+bool
+Core::tryForceUnlock(Addr line, Cycle now)
+{
+    (void)now;
+    int idx = -1;
+    aq.forEachMatching(line, [&idx](AqEntry &a) {
+        if (a.locked)
+            idx = 1; // found; resolved below via scan
+    });
+    if (idx < 0)
+        return false;
+
+    // Locate the locked entry precisely.
+    SeqNum seq = 0;
+    aq.forEachMatching(line, [&seq](AqEntry &a) {
+        if (a.locked)
+            seq = a.seq;
+    });
+    if (seq <= commitSeq)
+        return false; // committed: the unlock is imminent, keep waiting
+
+    RobEntry &e = rob(seq);
+    AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+    a.locked = false;
+    a.contended = true; // someone waited long enough to steal: contended
+    a.timestampValid = false;
+    a.lockCycle = invalidCycle;
+
+    e.replayGen++; // invalidate any in-flight completion events
+    e.completed = false;
+    e.issued = false;
+    e.forwardedAtomic = false;
+    e.lazySelected = true; // replay lazily: the line is contended
+    e.astate = AState::WaitOperands;
+    e.reissueReadyAt = invalidCycle;
+    iqOccupancy++; // back into the issue queue for the replay
+    LqEntry &l = lq.entry(static_cast<unsigned>(e.lqIdx));
+    l.issued = false;
+    l.completed = false;
+    waiting.push_back(seq);
+    stats_.counter("forcedUnlocks")++;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Completion / wakeup
+// ---------------------------------------------------------------------
+
+void
+Core::completeOp(SeqNum seq, Cycle now)
+{
+    RobEntry &e = rob(seq);
+    if (e.completed)
+        return;
+    e.completed = true;
+
+    if (e.lqIdx >= 0) {
+        LqEntry &l = lq.entry(static_cast<unsigned>(e.lqIdx));
+        if (l.seq == seq)
+            l.completed = true;
+    }
+    if (e.astate == AState::Locked)
+        e.astate = AState::Done;
+    if (e.op.cls == OpClass::Fence)
+        memBarriers.erase(seq);
+
+    if (!e.wokeDependents) {
+        e.wokeDependents = true;
+        for (SeqNum d : e.dependents) {
+            if (!inFlight(d))
+                continue;
+            RobEntry &dep = rob(d);
+            ROWSIM_ASSERT(dep.depsPending > 0, "dependent underflow");
+            if (--dep.depsPending == 0)
+                pushReady(d, now);
+        }
+    }
+
+    if (seq == fetchBlockedBy) {
+        fetchBlockedBy = 0;
+        fetchBlockedUntil = now + params.mispredictPenalty;
+    }
+}
+
+void
+Core::processCompletions(Cycle now)
+{
+    while (!completions.empty() && completions.begin()->first <= now) {
+        auto [seq, gen] = completions.begin()->second;
+        completions.erase(completions.begin());
+        if (!inFlight(seq))
+            continue;
+        RobEntry &e = rob(seq);
+        if (e.seq != seq || e.replayGen != gen)
+            continue; // stale (replay)
+        completeOp(seq, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+Core::commitAtomic(RobEntry &e, Cycle now)
+{
+    AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+    ROWSIM_ASSERT(a.locked, "committing an unlocked atomic");
+    SqEntry &s = sq.entry(static_cast<unsigned>(e.sqIdx));
+    s.committed = true;
+    s.addressReady = true;
+    s.addr = a.addr;
+    s.value = e.atomicNewValue;
+    // The ROB slot may be reused before the unlock event fires; stash
+    // everything atomicUnlock needs in the AQ entry.
+    a.newValue = e.atomicNewValue;
+    a.sqIdx = e.sqIdx;
+    pendingUnlocks.emplace(now + 1, e.seq);
+}
+
+void
+Core::atomicUnlock(SeqNum seq, Cycle now)
+{
+    AqEntry &a = aq.head();
+    ROWSIM_ASSERT(a.seq == seq, "unlock out of AQ order");
+
+    // STU write: the line is locked and Modified in the L1D, so the
+    // write happens immediately and atomically releases the lock.
+    fmem->write64(a.addr, a.newValue);
+    SqEntry &s = sq.entry(static_cast<unsigned>(a.sqIdx));
+    ROWSIM_ASSERT(s.seq == seq && s.isAtomic, "STU slot mismatch at unlock");
+    s.written = true;
+
+    const Addr line = a.line();
+    const bool contended = a.contended;
+
+    // Statistics: Fig. 5 / Fig. 6 / Fig. 12 inputs.
+    stats_.counter("atomicsUnlocked")++;
+    if (contended)
+        stats_.counter("atomicsDetectedContended")++;
+    if (a.oracleContended)
+        stats_.counter("atomicsOracleContended")++;
+    if (a.issueCycle != invalidCycle && a.lockCycle != invalidCycle) {
+        stats_.average("atomicDispatchToIssue")
+            .sample(static_cast<double>(a.issueCycle - a.dispatchCycle));
+        stats_.average("atomicIssueToLock")
+            .sample(static_cast<double>(a.lockCycle - a.issueCycle));
+        stats_.average("atomicLockToUnlock")
+            .sample(static_cast<double>(now - a.lockCycle));
+        stats_.average("atomicDispatchToUnlock")
+            .sample(static_cast<double>(now - a.dispatchCycle));
+    }
+
+    if (params.atomicPolicy == AtomicPolicy::RoW)
+        rowPredictor.update(a.pc, contended);
+    if (params.atomicPolicy == AtomicPolicy::Fenced)
+        memBarriers.erase(seq);
+
+    a.locked = false;
+    aq.freeHead(seq);
+    storeWritten(seq, s.addr, now);
+    cache->unlockNotify(line, now);
+}
+
+void
+Core::commitStage(Cycle now)
+{
+    for (unsigned i = 0; i < params.commitWidth; i++) {
+        const SeqNum seq = commitSeq + 1;
+        if (!inFlight(seq))
+            break;
+        RobEntry &e = rob(seq);
+        if (!e.completed)
+            break;
+
+        if (e.op.cls == OpClass::AtomicRMW) {
+            const AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+            // Free Atomics commit rule: SB drained, lock held.
+            if (!a.locked || !sq.sbEmpty())
+                break;
+            commitAtomic(e, now);
+            committedAtomicCount++;
+        }
+
+        if (e.lqIdx >= 0)
+            lq.freeHead(seq);
+        if (e.op.cls == OpClass::Store) {
+            SqEntry &s = sq.entry(static_cast<unsigned>(e.sqIdx));
+            ROWSIM_ASSERT(s.addressReady, "committing unresolved store");
+            s.committed = true;
+        }
+
+        commitSeq = seq;
+        committedInsts++;
+        if (e.op.endOfIteration)
+            iterations++;
+        e.busy = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store drain (SB -> L1D)
+// ---------------------------------------------------------------------
+
+void
+Core::storeWritten(SeqNum store_seq, Addr addr, Cycle now)
+{
+    (void)addr;
+    // Forwarded atomics lock the line the instant their forwarding store
+    // writes (§IV-E / Free Atomics forwarding guarantee).
+    auto range = fwdLockWaiters.equal_range(store_seq);
+    std::vector<SeqNum> to_lock;
+    for (auto it = range.first; it != range.second; ++it)
+        to_lock.push_back(it->second);
+    fwdLockWaiters.erase(range.first, range.second);
+    for (SeqNum aseq : to_lock) {
+        if (!inFlight(aseq))
+            continue;
+        RobEntry &e = rob(aseq);
+        if (e.seq != aseq || e.astate != AState::ExecDoneFwd)
+            continue;
+        // The forwarding store just wrote, so it (and everything older)
+        // has committed: older atomics have unlocked and the lock can
+        // engage immediately, preserving atomic locality.
+        if (aq.olderAllLocked(aseq)) {
+            acquireLock(e, FillSource::Forwarded, now);
+        } else {
+            e.astate = AState::WaitLock;
+            stats_.counter("lockWaits")++;
+        }
+    }
+}
+
+void
+Core::drainStores(Cycle now)
+{
+    // Retire written heads.
+    while (SqEntry *h = sq.headEntry()) {
+        if (h->written)
+            sq.freeHead(h->seq);
+        else
+            break;
+    }
+    SqEntry *h = sq.headEntry();
+    if (h && h->committed && !h->written && !h->writeInFlight &&
+        !h->isAtomic) {
+        h->writeInFlight = true;
+        MemAccess a;
+        a.addr = h->addr;
+        a.token = sbWriteToken | sq.indexOf(h);
+        a.needExclusive = true;
+        a.isWrite = true;
+        a.writeValue = h->value;
+        cache->access(a, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+Core::blockedByBarrier(SeqNum seq) const
+{
+    return !memBarriers.empty() && *memBarriers.begin() < seq;
+}
+
+bool
+Core::olderLoadsComplete(SeqNum seq) const
+{
+    bool ok = true;
+    const_cast<LoadQueue &>(lq).forEach([&](LqEntry &l) {
+        if (l.seq < seq && !l.completed)
+            ok = false;
+    });
+    return ok;
+}
+
+bool
+Core::olderStoresWritten(SeqNum seq) const
+{
+    bool ok = true;
+    const_cast<StoreQueue &>(sq).forEach([&](SqEntry &s) {
+        if (s.seq < seq && !s.written)
+            ok = false;
+    });
+    return ok;
+}
+
+bool
+Core::lazyConditionMet(const RobEntry &e) const
+{
+    return lq.isOldest(e.seq) && sq.noneOlderThan(e.seq);
+}
+
+bool
+Core::fenceConditionMet(const RobEntry &e) const
+{
+    return olderLoadsComplete(e.seq) && olderStoresWritten(e.seq);
+}
+
+bool
+Core::atomicSelectLazy(const MicroOp &op)
+{
+    switch (params.atomicPolicy) {
+      case AtomicPolicy::Eager:
+        return false;
+      case AtomicPolicy::Lazy:
+      case AtomicPolicy::Fenced:
+        return true;
+      case AtomicPolicy::RoW:
+        return rowPredictor.predictContended(op.pc);
+    }
+    return false;
+}
+
+void
+Core::sampleIndependentInsts(const RobEntry &e)
+{
+    // Fig. 4: how much independent work surrounds the atomic at issue?
+    std::uint64_t older_unexecuted = 0;
+    for (SeqNum s = commitSeq + 1; s < e.seq; s++) {
+        if (!rob(s).completed)
+            older_unexecuted++;
+    }
+    std::uint64_t younger_started = 0;
+    for (SeqNum s = e.seq + 1; s < nextSeq; s++) {
+        if (rob(s).issued)
+            younger_started++;
+    }
+    stats_.average("olderUnexecutedAtIssue")
+        .sample(static_cast<double>(older_unexecuted));
+    stats_.average("youngerStartedAtIssue")
+        .sample(static_cast<double>(younger_started));
+}
+
+bool
+Core::atomicExecute(RobEntry &e, Cycle now)
+{
+    AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+    if (a.addr == invalidAddr)
+        a.addr = e.op.addr; // address calculation (lazy without RW)
+
+    // The STU's address is known from here on: younger loads/atomics must
+    // not treat it as an unresolved store (that would serialise every
+    // atomic behind every older one).
+    SqEntry &stu = sq.entry(static_cast<unsigned>(e.sqIdx));
+    stu.addressReady = true;
+    stu.addr = a.addr;
+
+    // Atomics never speculate past unresolved older stores: wait for all
+    // older store addresses (cheap in practice; store addresses resolve
+    // at issue).
+    bool unknown_older = false;
+    SqEntry *src = sq.forwardSource(e.seq, a.addr, unknown_older);
+    if (unknown_older) {
+        // A store between the youngest match and the atomic is still
+        // unresolved: it could target our word. Atomics never speculate
+        // on memory dependences — wait for all older store addresses.
+        e.astate = AState::WaitStore;
+        e.waitStoreSeq = 0;
+        e.reissueReadyAt = invalidCycle;
+        return false;
+    }
+    if (src && !src->written) {
+        // §IV-E: atomics may only be forwarded from older *regular*
+        // stores; chains of atomic-to-atomic forwarding are disallowed
+        // (they extend lock windows and can livelock).
+        if (params.forwardToAtomics && !src->isAtomic) {
+            // Forwarded execution (§IV-E): consume the store's value now;
+            // the lock engages when the store writes.
+            if (a.issueCycle == invalidCycle) {
+                a.issueCycle = now;
+                sampleIndependentInsts(e);
+            }
+            e.forwardedAtomic = true;
+            e.waitStoreSeq = src->seq;
+            e.result = src->value;
+            e.atomicNewValue = atomicModify(e.op, e.result);
+            stu.value = e.atomicNewValue;
+            stu.valueReady = true;
+            e.astate = AState::ExecDoneFwd;
+            e.issued = true;
+            fwdLockWaiters.emplace(src->seq, e.seq);
+            LqEntry &l = lq.entry(static_cast<unsigned>(e.lqIdx));
+            l.issued = true;
+            l.addr = a.addr;
+            l.fwdFrom = src->seq;
+            scheduleCompletion(e.seq, now + 2);
+            stats_.counter("atomicsForwarded")++;
+            return true;
+        }
+        // Atomicity: must read the post-store value from the cache.
+        e.astate = AState::WaitStore;
+        e.waitStoreSeq = src->seq;
+        e.reissueReadyAt = invalidCycle;
+        return false;
+    }
+    if (a.issueCycle == invalidCycle) {
+        a.issueCycle = now;
+        sampleIndependentInsts(e);
+    }
+    stats_.counter(e.lazySelected ? "atomicsIssuedLazy"
+                                  : "atomicsIssuedEager")++;
+
+    a.issuedCycle14 = static_cast<std::uint16_t>(
+        now & ((1u << params.row.timestampBits) - 1));
+    a.timestampValid = true;
+    e.astate = AState::MemIssued;
+    e.issued = true;
+    LqEntry &l = lq.entry(static_cast<unsigned>(e.lqIdx));
+    l.issued = true;
+    l.addr = a.addr;
+
+    MemAccess m;
+    m.addr = a.addr;
+    m.token = token(e);
+    m.needExclusive = true;
+    m.isAtomic = true;
+    cache->access(m, now);
+    return true;
+}
+
+bool
+Core::tryIssueAtomic(RobEntry &e, Cycle now)
+{
+    if (blockedByBarrier(e.seq))
+        return false;
+
+    AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+
+    if (e.astate == AState::WaitOperands) {
+        if (!e.lazySelected) {
+            e.astate = AState::WaitLazy; // transient; atomicExecute decides
+            bool done = atomicExecute(e, now);
+            if (done)
+                iqOccupancy--;
+            return done;
+        }
+        // Predicted/forced lazy. Under RoW with RW/RW+Dir detection the
+        // atomic issues once now to compute its address (§IV-B),
+        // extending the contention-tracking window; it stays in the IQ.
+        const bool early_addr =
+            params.atomicPolicy == AtomicPolicy::RoW &&
+            params.row.detector != ContentionDetector::EW;
+        if (early_addr && a.addr == invalidAddr) {
+            a.addr = e.op.addr;
+            a.onlyCalcAddr = true;
+            SqEntry &stu = sq.entry(static_cast<unsigned>(e.sqIdx));
+            stu.addressReady = true;
+            stu.addr = a.addr;
+            stats_.counter("onlyCalcAddrIssues")++;
+            // Atomic locality (§IV-E): a matching older store in the SB
+            // promotes the atomic to eager execution.
+            if (params.forwardToAtomics && params.row.localityPromotion &&
+                sq.olderSameLineUnwritten(e.seq, a.line())) {
+                a.onlyCalcAddr = false;
+                e.lazySelected = false;
+                stats_.counter("atomicsPromotedEager")++;
+                bool done = atomicExecute(e, now);
+                if (done)
+                    iqOccupancy--;
+                return done;
+            }
+        }
+        e.astate = AState::WaitLazy;
+        return false;
+    }
+
+    if (e.astate == AState::WaitLazy) {
+        if (!lazyConditionMet(e)) {
+            e.reissueReadyAt = invalidCycle;
+            return false;
+        }
+        // Condition newly met: pay the wakeup/select/issue pipeline
+        // delay before the memory request goes out.
+        if (e.reissueReadyAt == invalidCycle)
+            e.reissueReadyAt = now + params.atomicReissueDelay;
+        if (now < e.reissueReadyAt)
+            return false;
+        a.onlyCalcAddr = false;
+        bool done = atomicExecute(e, now);
+        if (done)
+            iqOccupancy--;
+        return done;
+    }
+
+    if (e.astate == AState::WaitStore) {
+        if (e.waitStoreSeq != 0) {
+            // Wait for that specific store to write.
+            bool pending = false;
+            sq.forEach([&](SqEntry &s) {
+                if (s.seq == e.waitStoreSeq && !s.written)
+                    pending = true;
+            });
+            if (pending) {
+                e.reissueReadyAt = invalidCycle;
+                return false;
+            }
+        }
+        if (e.reissueReadyAt == invalidCycle)
+            e.reissueReadyAt = now + params.atomicReissueDelay;
+        if (now < e.reissueReadyAt)
+            return false;
+        bool done = atomicExecute(e, now);
+        if (done)
+            iqOccupancy--;
+        return done;
+    }
+
+    ROWSIM_PANIC("atomic issue in unexpected state %d",
+                 static_cast<int>(e.astate));
+}
+
+bool
+Core::tryIssueLoad(RobEntry &e, Cycle now)
+{
+    if (blockedByBarrier(e.seq))
+        return false;
+
+    bool unknown_older = false;
+    SqEntry *src = sq.forwardSource(e.seq, e.op.addr, unknown_older);
+    LqEntry &l = lq.entry(static_cast<unsigned>(e.lqIdx));
+
+    // unknown_older means a store BETWEEN the match (if any) and this
+    // load has not resolved its address yet: whatever the load consumes
+    // (forwarded value or cache data) is speculative, so the StoreSet
+    // decision comes first.
+    if (unknown_older) {
+        // StoreSet prediction, captured at dispatch (the LFST may have
+        // moved on to younger stores by now).
+        const SeqNum dep = e.waitStoreSeq;
+        if (dep != 0 && dep < e.seq && inFlight(dep)) {
+            const RobEntry &st = rob(dep);
+            if (st.op.cls == OpClass::Store && st.seq == dep &&
+                !st.issued) {
+                stats_.counter("loadsPredictedDependent")++;
+                return false; // predicted dependent: wait
+            }
+        }
+        // Speculate past the unresolved store(s); the violation scan at
+        // store resolution replays us if the speculation was wrong.
+        stats_.counter("loadsSpeculated")++;
+    }
+
+    if (src && !src->written) {
+        if (params.storeToLoadForwarding && src->valueReady) {
+            e.result = src->value;
+            l.issued = true;
+            l.addr = e.op.addr;
+            l.fwdFrom = src->seq;
+            e.issued = true;
+            scheduleCompletion(e.seq, now + 2);
+            stats_.counter("loadsForwarded")++;
+            iqOccupancy--;
+            return true;
+        }
+        return false; // wait for the store to write, then read the cache
+    }
+
+    l.issued = true;
+    l.addr = e.op.addr;
+    l.fwdFrom = 0;
+    e.issued = true;
+    MemAccess m;
+    m.addr = e.op.addr;
+    m.token = token(e);
+    cache->access(m, now);
+    iqOccupancy--;
+    return true;
+}
+
+void
+Core::replayLoad(RobEntry &load, Addr store_pc, Cycle now)
+{
+    storeSet.violation(load.op.pc, store_pc);
+    stats_.counter("loadReplays")++;
+    load.replayGen++;
+    load.completed = false;
+    load.issued = false;
+    LqEntry &l = lq.entry(static_cast<unsigned>(load.lqIdx));
+    l.issued = false;
+    l.completed = false;
+    l.fwdFrom = 0;
+    iqOccupancy++; // back into the issue queue
+    pushReady(load.seq, now);
+}
+
+bool
+Core::tryIssueStore(RobEntry &e, Cycle now)
+{
+    if (blockedByBarrier(e.seq))
+        return false;
+
+    SqEntry &s = sq.entry(static_cast<unsigned>(e.sqIdx));
+    s.addressReady = true;
+    s.addr = e.op.addr;
+    s.value = e.op.value;
+    s.valueReady = true;
+    e.issued = true;
+    storeSet.storeExecuted(e.ssSet, e.seq);
+
+    // Memory-order violation scan: younger loads to the same word that
+    // issued before this store resolved its address must replay unless
+    // they forwarded from an even younger store.
+    const Addr word = wordAlign(e.op.addr);
+    std::vector<SeqNum> to_replay;
+    lq.forEach([&](LqEntry &l) {
+        if (l.seq > e.seq && l.issued && !l.isAtomic &&
+            l.addr != invalidAddr && wordAlign(l.addr) == word &&
+            (l.fwdFrom == 0 || l.fwdFrom < e.seq)) {
+            to_replay.push_back(l.seq);
+        }
+    });
+    for (SeqNum ls : to_replay)
+        replayLoad(rob(ls), e.op.pc, now);
+
+    scheduleCompletion(e.seq, now + 1);
+    iqOccupancy--;
+    return true;
+}
+
+bool
+Core::tryIssueFence(RobEntry &e, Cycle now)
+{
+    if (!fenceConditionMet(e))
+        return false;
+    e.issued = true;
+    scheduleCompletion(e.seq, now + 1);
+    iqOccupancy--;
+    return true;
+}
+
+bool
+Core::tryIssue(SeqNum seq, Cycle now)
+{
+    RobEntry &e = rob(seq);
+    ROWSIM_ASSERT(e.busy && !e.issued, "tryIssue on bad entry");
+
+    switch (e.op.cls) {
+      case OpClass::IntAlu:
+      case OpClass::FpAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        e.issued = true;
+        scheduleCompletion(seq, now + std::max<unsigned>(1,
+                                                         e.op.execLatency));
+        iqOccupancy--;
+        return true;
+      case OpClass::Load:
+        return tryIssueLoad(e, now);
+      case OpClass::Store:
+        return tryIssueStore(e, now);
+      case OpClass::Fence:
+        return tryIssueFence(e, now);
+      case OpClass::AtomicRMW:
+        return tryIssueAtomic(e, now);
+    }
+    return false;
+}
+
+void
+Core::issueStage(Cycle now)
+{
+    unsigned slots = params.issueWidth;
+
+    // Re-attempt ops waiting on conditions (lazy atomics, fences, store
+    // waits, barrier blocks) before the newly-ready ones.
+    if (!waiting.empty()) {
+        std::vector<SeqNum> still;
+        still.reserve(waiting.size());
+        std::sort(waiting.begin(), waiting.end());
+        for (SeqNum seq : waiting) {
+            if (slots == 0 || !tryIssue(seq, now)) {
+                if (rob(seq).busy && !rob(seq).issued)
+                    still.push_back(seq);
+            } else {
+                slots--;
+            }
+        }
+        waiting.swap(still);
+    }
+
+    while (slots > 0 && !readyQueue.empty()) {
+        SeqNum seq = readyQueue.top();
+        readyQueue.pop();
+        if (!inFlight(seq) || rob(seq).issued || !rob(seq).busy)
+            continue;
+        if (tryIssue(seq, now))
+            slots--;
+        else
+            waiting.push_back(seq);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void
+Core::dispatchStage(Cycle now)
+{
+    if (fetchBlockedBy != 0 || now < fetchBlockedUntil)
+        return;
+
+    for (unsigned i = 0; i < params.fetchWidth; i++) {
+        if (fetchBuffer.empty()) {
+            if (halted)
+                return;
+            fetchBuffer.push_back(stream->next());
+        }
+        const MicroOp &op = fetchBuffer.front();
+
+        if (robCount() >= params.robEntries ||
+            iqOccupancy >= params.iqEntries)
+            return;
+        switch (op.cls) {
+          case OpClass::Load:
+            if (lq.full())
+                return;
+            break;
+          case OpClass::Store:
+            if (sq.full())
+                return;
+            break;
+          case OpClass::AtomicRMW:
+            if (lq.full() || sq.full() || aq.full())
+                return;
+            break;
+          default:
+            break;
+        }
+
+        const SeqNum seq = nextSeq++;
+        RobEntry &e = rob(seq);
+        ROWSIM_ASSERT(!e.busy, "ROB slot reuse while busy");
+        e = RobEntry{};
+        e.op = op;
+        e.seq = seq;
+        e.busy = true;
+        e.dispatchCycle = now;
+        fetchBuffer.pop_front();
+
+        for (std::uint32_t dist : {e.op.src0, e.op.src1}) {
+            if (dist == 0 || dist >= seq)
+                continue;
+            const SeqNum pseq = seq - dist;
+            if (pseq <= commitSeq)
+                continue;
+            RobEntry &prod = rob(pseq);
+            if (prod.busy && !prod.completed) {
+                prod.dependents.push_back(seq);
+                e.depsPending++;
+            }
+        }
+
+        switch (e.op.cls) {
+          case OpClass::Load:
+            e.lqIdx = static_cast<int>(lq.allocate(seq, false));
+            // Record the StoreSet-predicted dependence now; the LFST is
+            // only meaningful at dispatch time.
+            e.waitStoreSeq = storeSet.dependence(e.op.pc);
+            if (e.waitStoreSeq != 0)
+                stats_.counter("loadsDispatchedWithDep")++;
+            break;
+          case OpClass::Store: {
+            e.sqIdx = static_cast<int>(sq.allocate(seq, false));
+            e.ssSet = storeSet.setOf(e.op.pc);
+            storeSet.storeFetched(e.ssSet, seq);
+            break;
+          }
+          case OpClass::AtomicRMW: {
+            e.lqIdx = static_cast<int>(lq.allocate(seq, true));
+            e.sqIdx = static_cast<int>(sq.allocate(seq, true));
+            e.aqIdx = static_cast<int>(aq.allocate(seq, e.op.pc, now));
+            e.astate = AState::WaitOperands;
+            e.lazySelected = atomicSelectLazy(e.op);
+            aq.entry(static_cast<unsigned>(e.aqIdx)).predictedContended =
+                e.lazySelected;
+            if (params.atomicPolicy == AtomicPolicy::Fenced)
+                memBarriers.insert(seq);
+            stats_.counter("atomicsDispatched")++;
+            if (e.lazySelected)
+                stats_.counter("atomicsPredictedContended")++;
+            break;
+          }
+          case OpClass::Fence:
+            memBarriers.insert(seq);
+            break;
+          case OpClass::Branch: {
+            const bool correct = branchPred.update(e.op.pc,
+                                                   e.op.takenBranch);
+            if (!correct) {
+                fetchBlockedBy = seq;
+                stats_.counter("branchMispredicts")++;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+
+        iqOccupancy++;
+        stats_.counter("dispatched")++;
+        if (e.depsPending == 0)
+            pushReady(seq, now);
+
+        if (fetchBlockedBy == seq)
+            return; // stop fetching past a mispredicted branch
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tick
+// ---------------------------------------------------------------------
+
+void
+Core::tick(Cycle now)
+{
+    processCompletions(now);
+
+    while (!pendingUnlocks.empty() && pendingUnlocks.begin()->first <= now) {
+        SeqNum seq = pendingUnlocks.begin()->second;
+        pendingUnlocks.erase(pendingUnlocks.begin());
+        atomicUnlock(seq, now);
+    }
+
+    commitStage(now);
+    drainStores(now);
+    issueStage(now);
+    dispatchStage(now);
+}
+
+bool
+Core::drained() const
+{
+    return robCount() == 0 && sq.empty() && lq.empty() && aq.empty() &&
+           completions.empty() && pendingUnlocks.empty();
+}
+
+} // namespace rowsim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Out-of-order core with unfenced atomic RMWs (Free Atomics) and the
+ * Rush-or-Wait execution-policy machinery.
+ *
+ * Pipeline model: dispatch (fetchWidth/cycle, in order, stalls on
+ * mispredicted branches until resolution + redirect penalty) -> issue
+ * (issueWidth/cycle, oldest-ready-first, wakeup via producer dependent
+ * lists) -> execute (ALU latencies, loads via the private cache,
+ * store-to-load forwarding, StoreSet speculation with replay on
+ * violation) -> in-order commit (commitWidth/cycle; stores drain to the
+ * L1D from the SB after commit, strictly in order).
+ *
+ * Atomics follow §II-B: one ROB entry holding an LQ, SQ and AQ slot.
+ * Eager execution issues the load-lock once operands are ready; lazy
+ * execution waits until the atomic is the oldest memory instruction and
+ * the SB has drained. RoW picks per-atomic based on the contention
+ * predictor, computes addresses early (only-calculate-address) to widen
+ * the contention-tracking window, and promotes predicted-lazy atomics to
+ * eager when a matching older store is found in the SB (§IV-E).
+ */
+
+#ifndef ROWSIM_CPU_CORE_HH
+#define ROWSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/atomic_queue.hh"
+#include "cpu/branch.hh"
+#include "cpu/lsq.hh"
+#include "cpu/microop.hh"
+#include "cpu/storeset.hh"
+#include "cpu/stream.hh"
+#include "mem/l1cache.hh"
+#include "row/predictor.hh"
+
+namespace rowsim
+{
+
+class FunctionalMemory;
+
+class Core : public MemClient
+{
+  public:
+    Core(CoreId id, const CoreParams &params, PrivateCache *cache,
+         FunctionalMemory *fmem, InstStream *stream);
+
+    /** Advance one cycle: complete, commit, drain stores, issue,
+     *  dispatch. */
+    void tick(Cycle now);
+
+    // MemClient interface (called by the private cache).
+    void accessDone(const MemResult &r) override;
+    void atomicLineReady(std::uint64_t token, Addr line, FillSource source,
+                         Cycle netIssueCycle, bool contentionHint,
+                         Cycle now) override;
+    bool lineLocked(Addr line) const override;
+    void externalRequestSnoop(Addr line, Cycle now) override;
+    bool tryForceUnlock(Addr line, Cycle now) override;
+
+    /** Directory-oracle notification: another core showed interest in
+     *  @p line; mark matching in-flight atomics (Fig. 5 ground truth). */
+    void oracleContentionHint(Addr line, Cycle now);
+
+    /** Stop fetching new work (quota reached); in-flight ops drain. */
+    void halt() { halted = true; }
+    bool isHalted() const { return halted; }
+    /** True when the pipeline has fully drained. */
+    bool drained() const;
+
+    std::uint64_t committedInstructions() const { return committedInsts; }
+    std::uint64_t committedIterations() const { return iterations; }
+    std::uint64_t committedAtomics() const { return committedAtomicCount; }
+
+    StatGroup &stats() { return stats_; }
+    ContentionPredictor &predictor() { return rowPredictor; }
+    BranchPredictor &branchPredictor() { return branchPred; }
+    StoreSet &storeSets() { return storeSet; }
+    const AtomicQueue &atomicQueue() const { return aq; }
+
+  private:
+    /** Per-atomic execution progress. */
+    enum class AState : std::uint8_t
+    {
+        None,         ///< not an atomic
+        WaitOperands, ///< waiting for register sources
+        WaitLazy,     ///< predicted/forced lazy; waiting for LQ-head+SB-empty
+        WaitStore,    ///< waiting for an older same-word store to write
+        MemIssued,    ///< load-lock in the memory system
+        WaitLock,     ///< line filled, but an older atomic must lock first
+        Locked,       ///< line locked; modify op in flight
+        ExecDoneFwd,  ///< forwarded value consumed; lock set at store write
+        Done,         ///< modify complete (lock held until STU writes)
+    };
+
+    struct RobEntry
+    {
+        MicroOp op;
+        SeqNum seq = 0;
+        bool busy = false;
+        bool issued = false;
+        bool completed = false;
+        bool wokeDependents = false;
+        std::uint8_t depsPending = 0;
+        std::uint16_t replayGen = 0;
+        Cycle dispatchCycle = invalidCycle;
+        Cycle readyCycle = invalidCycle;
+        int lqIdx = -1;
+        int sqIdx = -1;
+        int aqIdx = -1;
+        std::uint32_t ssSet = StoreSet::invalidSet;
+        AState astate = AState::None;
+        bool lazySelected = false;
+        bool forwardedAtomic = false;
+        SeqNum waitStoreSeq = 0;
+        /** Re-issue pipeline delay once a wait condition is satisfied. */
+        Cycle reissueReadyAt = invalidCycle;
+        /** Directory-notification hint carried by the fill (extension). */
+        bool fillContentionHint = false;
+        std::uint64_t result = 0;
+        std::uint64_t atomicNewValue = 0;
+        std::vector<SeqNum> dependents;
+    };
+
+    // --- pipeline stages ---
+    void processCompletions(Cycle now);
+    void commitStage(Cycle now);
+    void drainStores(Cycle now);
+    void issueStage(Cycle now);
+    void dispatchStage(Cycle now);
+
+    /** Token bit marking a post-commit store-buffer write; the low bits
+     *  then carry the SQ slot index instead of a sequence number. */
+    static constexpr std::uint64_t sbWriteToken = 1ULL << 63;
+
+    // --- helpers ---
+    RobEntry &rob(SeqNum seq);
+    const RobEntry &rob(SeqNum seq) const;
+    bool inFlight(SeqNum seq) const;
+    unsigned robCount() const;
+    void pushReady(SeqNum seq, Cycle now);
+    void completeOp(SeqNum seq, Cycle now);
+    void scheduleCompletion(SeqNum seq, Cycle when);
+    std::uint64_t token(const RobEntry &e) const;
+
+    /** Attempt to issue one op; @return true when it made progress (a
+     *  slot was consumed), false when it must wait (re-queued). */
+    bool tryIssue(SeqNum seq, Cycle now);
+    bool tryIssueLoad(RobEntry &e, Cycle now);
+    bool tryIssueStore(RobEntry &e, Cycle now);
+    bool tryIssueFence(RobEntry &e, Cycle now);
+    bool tryIssueAtomic(RobEntry &e, Cycle now);
+    /** Execute the atomic's memory phase (eager or lazy real issue). */
+    bool atomicExecute(RobEntry &e, Cycle now);
+    /** Decide eager/lazy for a dispatching atomic (policy + predictor). */
+    bool atomicSelectLazy(const MicroOp &op);
+    /** Lazy-issue condition: oldest mem instruction + SB drained. */
+    bool lazyConditionMet(const RobEntry &e) const;
+    /** Fence-issue condition: older loads done, older stores written. */
+    bool fenceConditionMet(const RobEntry &e) const;
+    /** Any active memory barrier older than @p seq (mfence / fenced
+     *  atomic) that blocks this op's issue? */
+    bool blockedByBarrier(SeqNum seq) const;
+    /** All older loads in the LQ have completed. */
+    bool olderLoadsComplete(SeqNum seq) const;
+    /** All older stores in the SQ have written. */
+    bool olderStoresWritten(SeqNum seq) const;
+    /** Compute the atomic's modify result from the loaded value. */
+    std::uint64_t atomicModify(const MicroOp &op, std::uint64_t old) const;
+    /** Commit one atomic: STU enters the (empty) SB and writes next
+     *  cycle; unlock + predictor training happen at the write. */
+    void commitAtomic(RobEntry &e, Cycle now);
+    /** STU write: functional update, unlock, train, free AQ/SQ. */
+    void atomicUnlock(SeqNum seq, Cycle now);
+    /** A store wrote: wake forwarded atomics waiting to lock. */
+    void storeWritten(SeqNum seq, Addr addr, Cycle now);
+    /** Engage the lock for an atomic whose line is present in M. */
+    void acquireLock(RobEntry &e, FillSource source, Cycle now);
+    /** Re-check WaitLock atomics after any lock/unlock event. */
+    void pokeWaitingLocks(Cycle now);
+    /** Memory-order violation: replay the load. */
+    void replayLoad(RobEntry &load, Addr store_pc, Cycle now);
+    /** Fig. 4 instrumentation at the atomic's real memory issue. */
+    void sampleIndependentInsts(const RobEntry &e);
+
+    CoreId coreId;
+    CoreParams params;
+    PrivateCache *cache;
+    FunctionalMemory *fmem;
+    InstStream *stream;
+
+    std::vector<RobEntry> robSlots;
+    LoadQueue lq;
+    StoreQueue sq;
+    AtomicQueue aq;
+    BranchPredictor branchPred;
+    StoreSet storeSet;
+    ContentionPredictor rowPredictor;
+
+    SeqNum nextSeq = 1;   ///< next sequence number to dispatch
+    SeqNum commitSeq = 0; ///< last committed sequence number
+
+    /** Ready-to-issue ops, oldest first. */
+    std::priority_queue<SeqNum, std::vector<SeqNum>,
+                        std::greater<SeqNum>> readyQueue;
+    /** Ops that attempted issue and must re-try (lazy waits, fence waits,
+     *  same-word store waits, barrier blocks). */
+    std::vector<SeqNum> waiting;
+    /** Scheduled completion events. */
+    std::multimap<Cycle, std::pair<SeqNum, std::uint16_t>> completions;
+    /** Pending STU writes (cycle -> atomic seq). */
+    std::multimap<Cycle, SeqNum> pendingUnlocks;
+    /** Active mfences / fenced atomics gating younger memory issue. */
+    std::set<SeqNum> memBarriers;
+    /** Forwarded atomics waiting for their store's write to take the
+     *  lock (store seq -> atomic seq). */
+    std::multimap<SeqNum, SeqNum> fwdLockWaiters;
+
+    std::deque<MicroOp> fetchBuffer;
+    SeqNum fetchBlockedBy = 0;
+    Cycle fetchBlockedUntil = 0;
+    unsigned iqOccupancy = 0;
+    bool halted = false;
+
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedAtomicCount = 0;
+    std::uint64_t iterations = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_CPU_CORE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Instruction-stream interface: where a core's micro-ops come from.
+ */
+
+#ifndef ROWSIM_CPU_STREAM_HH
+#define ROWSIM_CPU_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/microop.hh"
+
+namespace rowsim
+{
+
+/**
+ * An infinite per-thread micro-op stream. Implementations must be
+ * deterministic functions of their seed so experiments are reproducible.
+ */
+class InstStream
+{
+  public:
+    virtual ~InstStream() = default;
+
+    /** Produce the next micro-op. */
+    virtual MicroOp next() = 0;
+};
+
+/** A fixed vector of micro-ops, repeated forever (testing and simple
+ *  kernels). */
+class LoopStream : public InstStream
+{
+  public:
+    explicit LoopStream(std::vector<MicroOp> body)
+        : body_(std::move(body))
+    {
+    }
+
+    MicroOp
+    next() override
+    {
+        MicroOp op = body_[idx];
+        idx = (idx + 1) % body_.size();
+        return op;
+    }
+
+  private:
+    std::vector<MicroOp> body_;
+    std::size_t idx = 0;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_CPU_STREAM_HH

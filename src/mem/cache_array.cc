@@ -1,0 +1,110 @@
+#include "mem/cache_array.hh"
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+const char *
+fillSourceName(FillSource s)
+{
+    switch (s) {
+      case FillSource::L1Hit: return "L1Hit";
+      case FillSource::L2Hit: return "L2Hit";
+      case FillSource::LLCHit: return "LLCHit";
+      case FillSource::Memory: return "Memory";
+      case FillSource::RemoteCache: return "RemoteCache";
+      case FillSource::Forwarded: return "Forwarded";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(unsigned sets, unsigned ways)
+    : numSets(sets), numWays(ways),
+      lines(static_cast<std::size_t>(sets) * ways)
+{
+    ROWSIM_ASSERT(sets > 0 && (sets & (sets - 1)) == 0,
+                  "cache sets must be a power of two, got %u", sets);
+    ROWSIM_ASSERT(ways > 0, "cache must have at least one way");
+}
+
+unsigned
+CacheArray::setIndex(Addr line_addr) const
+{
+    return static_cast<unsigned>(lineNum(line_addr)) & (numSets - 1);
+}
+
+CacheArray::Line *
+CacheArray::lookup(Addr line_addr, Cycle now)
+{
+    Addr aligned = lineAlign(line_addr);
+    unsigned set = setIndex(aligned);
+    for (unsigned w = 0; w < numWays; w++) {
+        Line &l = lines[static_cast<std::size_t>(set) * numWays + w];
+        if (l.valid() && l.tag == aligned) {
+            l.lastUse = now;
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+const CacheArray::Line *
+CacheArray::peek(Addr line_addr) const
+{
+    Addr aligned = lineAlign(line_addr);
+    unsigned set = setIndex(aligned);
+    for (unsigned w = 0; w < numWays; w++) {
+        const Line &l = lines[static_cast<std::size_t>(set) * numWays + w];
+        if (l.valid() && l.tag == aligned)
+            return &l;
+    }
+    return nullptr;
+}
+
+CacheArray::Line *
+CacheArray::victim(Addr line_addr, const std::function<bool(Addr)> &pinned,
+                   Cycle now)
+{
+    (void)now;
+    Addr aligned = lineAlign(line_addr);
+    unsigned set = setIndex(aligned);
+    Line *best = nullptr;
+    for (unsigned w = 0; w < numWays; w++) {
+        Line &l = lines[static_cast<std::size_t>(set) * numWays + w];
+        if (!l.valid())
+            return &l;
+        if (pinned && pinned(l.tag))
+            continue;
+        if (!best || l.lastUse < best->lastUse)
+            best = &l;
+    }
+    return best;
+}
+
+void
+CacheArray::fill(Line *way, Addr line_addr, CacheState state, Cycle now)
+{
+    ROWSIM_ASSERT(way != nullptr, "fill into null way");
+    way->tag = lineAlign(line_addr);
+    way->state = state;
+    way->lastUse = now;
+}
+
+bool
+CacheArray::invalidate(Addr line_addr)
+{
+    Addr aligned = lineAlign(line_addr);
+    unsigned set = setIndex(aligned);
+    for (unsigned w = 0; w < numWays; w++) {
+        Line &l = lines[static_cast<std::size_t>(set) * numWays + w];
+        if (l.valid() && l.tag == aligned) {
+            l.state = CacheState::Invalid;
+            l.tag = invalidAddr;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace rowsim

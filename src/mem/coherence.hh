@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Coherence state definitions shared by the private caches and directory.
+ */
+
+#ifndef ROWSIM_MEM_COHERENCE_HH
+#define ROWSIM_MEM_COHERENCE_HH
+
+#include <cstdint>
+
+namespace rowsim
+{
+
+/** Stable line states at a private cache (MSI; E folded into M). */
+enum class CacheState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** Stable + transient states at the directory. */
+enum class DirState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+    /** A transaction for this line is in flight (between the data being
+     *  sent out and the requester's Unblock). New requests queue. This is
+     *  the window behind the Fig. 8 race that motivates the directory
+     *  latency-based contention detector. */
+    Blocked,
+};
+
+/** Where did a fill's data come from? Feeds latency stats and the RoW
+ *  directory contention detector (remote-private-cache fills). */
+enum class FillSource : std::uint8_t
+{
+    L1Hit,
+    L2Hit,
+    LLCHit,
+    Memory,
+    RemoteCache,
+    Forwarded, ///< store-to-load forwarding inside the core
+};
+
+const char *fillSourceName(FillSource s);
+
+} // namespace rowsim
+
+#endif // ROWSIM_MEM_COHERENCE_HH

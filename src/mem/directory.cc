@@ -1,0 +1,300 @@
+#include "mem/directory.hh"
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+namespace
+{
+std::uint64_t
+coreBit(CoreId c)
+{
+    return 1ULL << c;
+}
+} // namespace
+
+Directory::Directory(unsigned bank_index, unsigned num_cores,
+                     const MemParams &p, Network *network)
+    : bankIndex(bank_index), numCores(num_cores),
+      myNode(num_cores + bank_index), params(p), net(network),
+      llcArray(p.l3SetsPerBank, p.l3Ways),
+      stats_(strprintf("dir%u", bank_index))
+{
+    ROWSIM_ASSERT(num_cores <= 64, "sharer bitmask supports <= 64 cores");
+}
+
+void
+Directory::sendToCore(MsgType t, Addr line, CoreId core, CoreId requester,
+                      Cycle now, bool excl, bool from_memory,
+                      bool contention_hint)
+{
+    Msg m;
+    m.type = t;
+    m.line = line;
+    m.src = myNode;
+    m.dst = core;
+    m.requester = requester;
+    m.excl = excl;
+    m.fromMemory = from_memory;
+    m.contentionHint = contention_hint;
+    m.fromPrivateCache = false;
+    net->send(m, now);
+}
+
+Cycle
+Directory::dataLatency(Addr line, Cycle now, bool &from_memory)
+{
+    if (llcArray.lookup(line, now)) {
+        from_memory = false;
+        return params.l3HitLatency;
+    }
+    from_memory = true;
+    // Fetch from memory and install the presence bit. LLC evictions only
+    // drop presence (data always reachable in functional memory).
+    auto *way = llcArray.victim(line, nullptr, now);
+    llcArray.fill(way, line, CacheState::Shared, now);
+    stats_.counter("llcMisses")++;
+    return params.l3HitLatency + params.memoryLatency;
+}
+
+void
+Directory::maybeSendData(Entry &e, Cycle now)
+{
+    if (!e.dataPending || e.pendingAcks > 0)
+        return;
+    if (e.dataReady > now) {
+        wake.emplace(e.dataReady, e.dataMsg.line);
+        return;
+    }
+    net->send(e.dataMsg, now);
+    e.dataPending = false;
+}
+
+void
+Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
+                          bool was_queued)
+{
+    ROWSIM_ASSERT(e.state != DirState::Blocked,
+                  "processRequest on blocked entry");
+    const Addr line = msg.line;
+    const CoreId req = msg.requester;
+    // Directory-notification extension: a request that had to queue, or
+    // that leaves others queued behind it, observed contention.
+    const bool hint = was_queued || !e.queued.empty();
+
+    switch (msg.type) {
+      case MsgType::GetS:
+        stats_.counter("getS")++;
+        if (e.state == DirState::Invalid || e.state == DirState::Shared) {
+            bool from_mem = false;
+            Cycle lat = dataLatency(line, now, from_mem);
+            e.nextState = DirState::Shared;
+            e.nextSharers = e.sharers | coreBit(req);
+            e.nextOwner = invalidCore;
+            e.dataMsg = Msg{};
+            e.dataMsg.type = MsgType::Data;
+            e.dataMsg.line = line;
+            e.dataMsg.src = myNode;
+            e.dataMsg.dst = req;
+            e.dataMsg.requester = req;
+            e.dataMsg.excl = false;
+            e.dataMsg.fromMemory = from_mem;
+            e.dataMsg.contentionHint = hint;
+            e.dataPending = true;
+            e.dataReady = now + lat;
+            e.pendingAcks = 0;
+        } else { // Modified: forward to owner
+            if (oracle)
+                oracle(line, req, e.owner, false, now);
+            stats_.counter("fwdGetS")++;
+            sendToCore(MsgType::FwdGetS, line, e.owner, req, now, false,
+                       false, hint);
+            e.nextState = DirState::Shared;
+            e.nextSharers = coreBit(e.owner) | coreBit(req);
+            e.nextOwner = invalidCore;
+            e.dataPending = false;
+        }
+        break;
+
+      case MsgType::GetX:
+        stats_.counter("getX")++;
+        if (e.state == DirState::Modified) {
+            ROWSIM_ASSERT(e.owner != req,
+                          "GetX from current owner, line %#lx",
+                          static_cast<unsigned long>(line));
+            if (oracle)
+                oracle(line, req, e.owner, false, now);
+            stats_.counter("fwdGetX")++;
+            sendToCore(MsgType::FwdGetX, line, e.owner, req, now, false,
+                       false, hint);
+            e.nextState = DirState::Modified;
+            e.nextOwner = req;
+            e.nextSharers = 0;
+            e.dataPending = false;
+        } else {
+            bool from_mem = false;
+            Cycle lat = dataLatency(line, now, from_mem);
+            unsigned acks = 0;
+            if (e.state == DirState::Shared) {
+                for (CoreId c = 0; c < numCores; c++) {
+                    if (c != req && (e.sharers & coreBit(c))) {
+                        if (oracle)
+                            oracle(line, req, c, false, now);
+                        sendToCore(MsgType::Inv, line, c, req, now);
+                        acks++;
+                    }
+                }
+            }
+            e.nextState = DirState::Modified;
+            e.nextOwner = req;
+            e.nextSharers = 0;
+            e.dataMsg = Msg{};
+            e.dataMsg.type = MsgType::DataExcl;
+            e.dataMsg.line = line;
+            e.dataMsg.src = myNode;
+            e.dataMsg.dst = req;
+            e.dataMsg.requester = req;
+            e.dataMsg.excl = true;
+            e.dataMsg.fromMemory = from_mem;
+            e.dataMsg.contentionHint = hint || acks > 0;
+            e.dataPending = true;
+            e.dataReady = now + lat;
+            e.pendingAcks = acks;
+        }
+        break;
+
+      default:
+        ROWSIM_PANIC("unexpected request %s at directory",
+                     msgTypeName(msg.type));
+    }
+
+    e.state = DirState::Blocked;
+    e.txnRequester = req;
+    blockedLines++;
+    maybeSendData(e, now);
+}
+
+void
+Directory::finishTxn(Entry &e, Addr line, Cycle now)
+{
+    ROWSIM_ASSERT(e.state == DirState::Blocked,
+                  "Unblock on unblocked line %#lx",
+                  static_cast<unsigned long>(line));
+    e.state = e.nextState;
+    e.owner = e.nextOwner;
+    e.sharers = e.nextSharers;
+    e.txnRequester = invalidCore;
+    ROWSIM_ASSERT(blockedLines > 0, "blockedLines underflow");
+    blockedLines--;
+
+    while (!e.queued.empty() && e.state != DirState::Blocked) {
+        Msg next = e.queued.front();
+        e.queued.pop_front();
+        if (next.type == MsgType::PutM) {
+            // Crossed eviction: handle with the now-current state.
+            deliver(next, now);
+        } else {
+            processRequest(e, next, now, true);
+        }
+    }
+}
+
+void
+Directory::deliver(const Msg &msg, Cycle now)
+{
+    Entry &e = entries[msg.line];
+
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+        if (e.state == DirState::Blocked) {
+            // Definite concurrent interest: oracle sees both the pending
+            // requester/owner and the newcomer.
+            if (oracle) {
+                oracle(msg.line, msg.requester, e.txnRequester, true, now);
+                if (e.owner != invalidCore && e.owner != msg.requester)
+                    oracle(msg.line, msg.requester, e.owner, true, now);
+            }
+            // Notify the in-flight transaction's requester (extension):
+            // the newcomer proves concurrent interest.
+            if (e.dataPending)
+                e.dataMsg.contentionHint = true;
+            e.queued.push_back(msg);
+            stats_.counter("queuedRequests")++;
+            stats_.average("queueDepth").sample(
+                static_cast<double>(e.queued.size()));
+        } else {
+            processRequest(e, msg, now);
+        }
+        break;
+
+      case MsgType::PutM: {
+        CoreId evictor = static_cast<CoreId>(msg.src);
+        if (e.state == DirState::Modified && e.owner == evictor) {
+            // Clean writeback: data now lives in the LLC.
+            auto *way = llcArray.victim(msg.line, nullptr, now);
+            llcArray.fill(way, msg.line, CacheState::Shared, now);
+            e.state = DirState::Invalid;
+            e.owner = invalidCore;
+            e.sharers = 0;
+            stats_.counter("writebacks")++;
+        } else {
+            // Crossed with an in-flight transaction; ownership already
+            // moved (or is moving). Ack without touching state.
+            stats_.counter("staleWritebacks")++;
+        }
+        sendToCore(MsgType::WBAck, msg.line, evictor, evictor, now);
+        break;
+      }
+
+      case MsgType::InvAck:
+        ROWSIM_ASSERT(e.state == DirState::Blocked && e.pendingAcks > 0,
+                      "stray InvAck for line %#lx",
+                      static_cast<unsigned long>(msg.line));
+        e.pendingAcks--;
+        maybeSendData(e, now);
+        break;
+
+      case MsgType::Unblock:
+        finishTxn(e, msg.line, now);
+        break;
+
+      default:
+        ROWSIM_PANIC("directory cannot handle %s", msgTypeName(msg.type));
+    }
+}
+
+void
+Directory::tick(Cycle now)
+{
+    while (!wake.empty() && wake.begin()->first <= now) {
+        Addr line = wake.begin()->second;
+        wake.erase(wake.begin());
+        auto it = entries.find(line);
+        if (it != entries.end() && it->second.state == DirState::Blocked)
+            maybeSendData(it->second, now);
+    }
+}
+
+bool
+Directory::idle() const
+{
+    return blockedLines == 0 && wake.empty();
+}
+
+DirState
+Directory::lineState(Addr line) const
+{
+    auto it = entries.find(lineAlign(line));
+    return it == entries.end() ? DirState::Invalid : it->second.state;
+}
+
+CoreId
+Directory::lineOwner(Addr line) const
+{
+    auto it = entries.find(lineAlign(line));
+    return it == entries.end() ? invalidCore : it->second.owner;
+}
+
+} // namespace rowsim

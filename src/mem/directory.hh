@@ -1,0 +1,126 @@
+/**
+ * @file
+ * One bank of the shared L3 / directory. Implements a blocking MSI
+ * directory protocol: while a transaction is in flight for a line
+ * (Blocked state), younger requests queue behind it. This serialisation
+ * is what makes contended-line acquisition latency grow with the number
+ * of requesters — the signal RoW's directory detector keys on — and it
+ * reproduces the Unblock race of the paper's Fig. 8.
+ */
+
+#ifndef ROWSIM_MEM_DIRECTORY_HH
+#define ROWSIM_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "net/message.hh"
+#include "net/network.hh"
+
+namespace rowsim
+{
+
+/**
+ * Directory bank. Network endpoint NodeId == numCores + bankIndex.
+ */
+class Directory : public MsgHandler
+{
+  public:
+    /**
+     * Called when a request observes concurrent interest in a line.
+     * The system uses it as the ground-truth contention oracle for
+     * Fig. 5. @p holder is the current owner/sharer or invalidCore.
+     * @p overlap distinguishes definite temporal overlap (the request
+     * arrived while a transaction for the line was in flight — mark both
+     * sides) from a forward/invalidation of a resident copy (the holder
+     * is concurrently *using* the line — mark the holder only; a
+     * migratory access with no overlap is not contention for the
+     * requester).
+     */
+    using OracleHook =
+        std::function<void(Addr line, CoreId requester, CoreId holder,
+                           bool overlap, Cycle now)>;
+
+    Directory(unsigned bank_index, unsigned num_cores,
+              const MemParams &params, Network *net);
+
+    void deliver(const Msg &msg, Cycle now) override;
+    void tick(Cycle now);
+    bool idle() const;
+
+    void setOracleHook(OracleHook hook) { oracle = std::move(hook); }
+
+    /** Directory state probe for tests. */
+    DirState lineState(Addr line) const;
+    CoreId lineOwner(Addr line) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        DirState state = DirState::Invalid;
+        std::uint64_t sharers = 0; ///< bitmask, supports up to 64 cores
+        CoreId owner = invalidCore;
+
+        // --- transaction-in-flight (Blocked) bookkeeping ---
+        CoreId txnRequester = invalidCore;
+        /** State/owner/sharers to apply when the Unblock arrives. */
+        DirState nextState = DirState::Invalid;
+        CoreId nextOwner = invalidCore;
+        std::uint64_t nextSharers = 0;
+        /** Outstanding invalidation acks before data can be sent. */
+        unsigned pendingAcks = 0;
+        /** Earliest cycle LLC/memory data is available. */
+        Cycle dataReady = invalidCycle;
+        /** Data message to emit once acks are in and data is ready. */
+        bool dataPending = false;
+        Msg dataMsg;
+
+        std::deque<Msg> queued;
+    };
+
+    /** Process a request against an unblocked entry (may block it).
+     *  @param was_queued the request waited behind an earlier transaction
+     *  (feeds the directory-notification contention hint). */
+    void processRequest(Entry &e, const Msg &msg, Cycle now,
+                        bool was_queued = false);
+    /** LLC/memory access latency for this line (inserts into LLC). */
+    Cycle dataLatency(Addr line, Cycle now, bool &from_memory);
+    /** Emit the blocked entry's data reply if acks and data are ready. */
+    void maybeSendData(Entry &e, Cycle now);
+    /** Apply the Unblock, then drain queued requests. */
+    void finishTxn(Entry &e, Addr line, Cycle now);
+
+    void
+    sendToCore(MsgType t, Addr line, CoreId core, CoreId requester,
+               Cycle now, bool excl = false, bool from_memory = false,
+               bool contention_hint = false);
+
+    unsigned bankIndex;
+    unsigned numCores;
+    NodeId myNode;
+    MemParams params;
+    Network *net;
+    OracleHook oracle;
+
+    std::unordered_map<Addr, Entry> entries;
+    /** Lines whose data reply is waiting for the LLC/memory latency. */
+    std::multimap<Cycle, Addr> wake;
+    CacheArray llcArray; ///< data-presence array (latency only)
+    /** Number of lines currently Blocked (idle() fast path). */
+    unsigned blockedLines = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_MEM_DIRECTORY_HH

@@ -1,0 +1,444 @@
+#include "mem/l1cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/memsystem.hh"
+
+namespace rowsim
+{
+
+PrivateCache::PrivateCache(CoreId core, const MemParams &p, Network *network,
+                           FunctionalMemory *functional)
+    : lockStealThreshold(p.lockStealThreshold), coreId(core), params(p),
+      net(network), fmem(functional), l1Array(p.l1Sets, p.l1Ways),
+      l2Array(p.l2Sets, p.l2Ways), stats_(strprintf("l1d%u", core))
+{
+}
+
+void
+PrivateCache::sendRequest(Addr line, bool exclusive, bool prefetch,
+                          Cycle now)
+{
+    Msg m;
+    m.type = exclusive ? MsgType::GetX : MsgType::GetS;
+    m.line = line;
+    m.src = coreId;
+    m.dst = net->homeBank(line);
+    m.requester = coreId;
+    net->send(m, now);
+    stats_.counter(prefetch ? "prefetchRequests" : "demandRequests")++;
+}
+
+void
+PrivateCache::completeWaiter(const MshrWaiter &w, FillSource src,
+                             Cycle fill_cycle, Cycle net_issue,
+                             bool contention_hint, Cycle now)
+{
+    if (w.isAtomic) {
+        // The lock window starts the instant the exclusive line is in the
+        // private cache; the core sets the AQ locked bit synchronously.
+        client->atomicLineReady(w.token, lineAlign(w.addr), src, net_issue,
+                                contention_hint, now);
+        return;
+    }
+    MemResult r;
+    r.token = w.token;
+    r.addr = w.addr;
+    r.source = src;
+    r.requestCycle = w.requestCycle;
+    if (w.isWrite) {
+        // Permission is held right now: update the value store.
+        fmem->write64(w.addr, w.writeValue);
+        r.doneCycle = std::max(now + 1, fill_cycle + 1);
+    } else {
+        r.value = fmem->read64(w.addr);
+        r.doneCycle = std::max(now, fill_cycle) + params.l1HitLatency;
+    }
+    dueResults.emplace(r.doneCycle, r);
+}
+
+void
+PrivateCache::access(const MemAccess &a, Cycle now)
+{
+    const Addr line = lineAlign(a.addr);
+    stats_.counter("accesses")++;
+
+    auto *l2line = l2Array.lookup(line, now);
+    const bool have_perm =
+        l2line && (l2line->state == CacheState::Modified || !a.needExclusive);
+
+    if (have_perm) {
+        const bool l1hit = l1Array.lookup(line, now) != nullptr;
+        const FillSource src = l1hit ? FillSource::L1Hit : FillSource::L2Hit;
+        const Cycle lat = l1hit ? params.l1HitLatency : params.l2HitLatency;
+        if (!l1hit) {
+            stats_.counter("l1Misses")++;
+            stats_.average("missLatency").sample(static_cast<double>(lat));
+            auto *way = l1Array.victim(line,
+                [this](Addr t) { return client->lineLocked(t); }, now);
+            if (way)
+                l1Array.fill(way, line, l2line->state, now);
+        } else {
+            stats_.counter("l1Hits")++;
+        }
+
+        if (a.isAtomic) {
+            client->atomicLineReady(a.token, line, src, now, false, now);
+        } else {
+            MemResult r;
+            r.token = a.token;
+            r.addr = a.addr;
+            r.source = src;
+            r.requestCycle = now;
+            if (a.isWrite) {
+                fmem->write64(a.addr, a.writeValue);
+                r.doneCycle = now + lat;
+            } else {
+                r.value = fmem->read64(a.addr);
+                r.doneCycle = now + lat;
+            }
+            dueResults.emplace(r.doneCycle, r);
+        }
+        return;
+    }
+
+    // Miss (or S->M upgrade).
+    stats_.counter("l1Misses")++;
+    MshrWaiter w;
+    w.token = a.token;
+    w.requestCycle = now;
+    w.needExclusive = a.needExclusive;
+    w.isAtomic = a.isAtomic;
+    w.isWrite = a.isWrite;
+    w.writeValue = a.writeValue;
+    w.addr = a.addr;
+
+    auto it = mshrs.find(line);
+    if (it != mshrs.end()) {
+        if (it->second.prefetchOnly)
+            it->second.prefetchOnly = false;
+        it->second.waiters.push_back(w);
+        stats_.counter("mshrCoalesced")++;
+        return;
+    }
+    if (mshrs.size() >= params.mshrs) {
+        pendingAccesses.emplace_back(a, now);
+        stats_.counter("mshrFull")++;
+        return;
+    }
+
+    Mshr m;
+    m.line = line;
+    m.exclusiveRequested = a.needExclusive;
+    m.netIssueCycle = now;
+    m.waiters.push_back(w);
+    mshrs.emplace(line, std::move(m));
+    sendRequest(line, a.needExclusive, false, now);
+
+    if (params.prefetcher && !a.isWrite && !a.isAtomic)
+        maybePrefetch(line, now);
+}
+
+void
+PrivateCache::maybePrefetch(Addr line, Cycle now)
+{
+    const Addr next = line + lineBytes;
+    if (l2Array.peek(next) || mshrs.count(next) || evicting.count(next))
+        return;
+    if (mshrs.size() + 1 >= params.mshrs)
+        return; // keep headroom for demand misses
+    Mshr m;
+    m.line = next;
+    m.exclusiveRequested = false;
+    m.prefetchOnly = true;
+    m.netIssueCycle = now;
+    mshrs.emplace(next, std::move(m));
+    sendRequest(next, false, true, now);
+}
+
+void
+PrivateCache::evictLine(CacheArray::Line *way, Cycle now)
+{
+    const Addr victim_line = way->tag;
+    if (way->state == CacheState::Modified) {
+        evicting[victim_line] = true;
+        Msg m;
+        m.type = MsgType::PutM;
+        m.line = victim_line;
+        m.src = coreId;
+        m.dst = net->homeBank(victim_line);
+        m.requester = coreId;
+        net->send(m, now);
+        stats_.counter("writebacks")++;
+    }
+    l1Array.invalidate(victim_line);
+    way->state = CacheState::Invalid;
+    way->tag = invalidAddr;
+}
+
+bool
+PrivateCache::installLine(Addr line, CacheState state, Cycle now)
+{
+    auto pinned = [this](Addr t) { return client->lineLocked(t); };
+
+    // Upgrade fills (S -> M) must update the existing entry in place;
+    // installing a second copy would leave a stale Shared duplicate.
+    if (auto *present = l2Array.lookup(line, now)) {
+        present->state = state;
+    } else {
+        auto *way = l2Array.victim(line, pinned, now);
+        if (!way)
+            return false;
+        if (way->valid())
+            evictLine(way, now);
+        l2Array.fill(way, line, state, now);
+    }
+
+    if (auto *l1present = l1Array.lookup(line, now)) {
+        l1present->state = state;
+    } else {
+        auto *l1way = l1Array.victim(line, pinned, now);
+        if (l1way)
+            l1Array.fill(l1way, line, state, now);
+    }
+    return true;
+}
+
+void
+PrivateCache::handleFill(const Msg &msg, Cycle now)
+{
+    const Addr line = msg.line;
+    auto it = mshrs.find(line);
+    ROWSIM_ASSERT(it != mshrs.end(), "fill without MSHR, line %#lx core %u",
+                  static_cast<unsigned long>(line), coreId);
+    Mshr &m = it->second;
+
+    const CacheState state =
+        msg.excl ? CacheState::Modified : CacheState::Shared;
+    if (!installLine(line, state, now)) {
+        deferredFills.push_back(msg);
+        return;
+    }
+
+    Msg unb;
+    unb.type = MsgType::Unblock;
+    unb.line = line;
+    unb.src = coreId;
+    unb.dst = net->homeBank(line);
+    unb.requester = coreId;
+    net->send(unb, now);
+
+    FillSource src = FillSource::LLCHit;
+    if (msg.fromPrivateCache)
+        src = FillSource::RemoteCache;
+    else if (msg.fromMemory)
+        src = FillSource::Memory;
+
+    std::vector<MshrWaiter> still_waiting;
+    for (const auto &w : m.waiters) {
+        if (w.needExclusive && state == CacheState::Shared) {
+            still_waiting.push_back(w);
+            continue;
+        }
+        stats_.average("missLatency").sample(
+            static_cast<double>(now - w.requestCycle));
+        if (msg.fromPrivateCache)
+            stats_.counter("remoteFills")++;
+        completeWaiter(w, src, now, m.netIssueCycle, msg.contentionHint,
+                       now);
+    }
+
+    if (!still_waiting.empty()) {
+        // A GetS fill cannot satisfy exclusive waiters: upgrade.
+        m.waiters = std::move(still_waiting);
+        m.exclusiveRequested = true;
+        m.netIssueCycle = now;
+        sendRequest(line, true, false, now);
+        return;
+    }
+
+    mshrs.erase(it);
+    drainPending(now);
+}
+
+void
+PrivateCache::applyExternal(const Msg &msg, Cycle now)
+{
+    const Addr line = msg.line;
+    switch (msg.type) {
+      case MsgType::Inv: {
+        l1Array.invalidate(line);
+        l2Array.invalidate(line);
+        Msg ack;
+        ack.type = MsgType::InvAck;
+        ack.line = line;
+        ack.src = coreId;
+        ack.dst = msg.src;
+        ack.requester = msg.requester;
+        net->send(ack, now);
+        stats_.counter("invalidations")++;
+        break;
+      }
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetX: {
+        const bool excl = msg.type == MsgType::FwdGetX;
+        auto *l2line = l2Array.lookup(line, now);
+        if (l2line) {
+            ROWSIM_ASSERT(l2line->state == CacheState::Modified,
+                          "forward %s to non-owner core %u, line %#lx "
+                          "(state %d, mshr %d, evicting %d)",
+                          msgTypeName(msg.type), coreId,
+                          static_cast<unsigned long>(line),
+                          static_cast<int>(l2line->state),
+                          static_cast<int>(mshrs.count(line)),
+                          static_cast<int>(evicting.count(line)));
+            if (excl) {
+                l1Array.invalidate(line);
+                l2Array.invalidate(line);
+            } else {
+                l2line->state = CacheState::Shared;
+                if (auto *l1line = l1Array.lookup(line, now))
+                    l1line->state = CacheState::Shared;
+            }
+        } else {
+            // Our PutM crossed with this forward: answer from the
+            // writeback buffer.
+            ROWSIM_ASSERT(evicting.count(line),
+                          "forward for absent line %#lx at core %u",
+                          static_cast<unsigned long>(line), coreId);
+        }
+        Msg data;
+        data.type = MsgType::DataOwner;
+        data.line = line;
+        data.src = coreId;
+        data.dst = msg.requester;
+        data.requester = msg.requester;
+        data.excl = excl;
+        data.contentionHint = msg.contentionHint; // dir-notify extension
+        data.fromPrivateCache = true;
+        net->send(data, now);
+        stats_.counter("ownerForwards")++;
+        break;
+      }
+      default:
+        ROWSIM_PANIC("applyExternal: unexpected %s", msgTypeName(msg.type));
+    }
+}
+
+void
+PrivateCache::deliver(const Msg &msg, Cycle now)
+{
+    switch (msg.type) {
+      case MsgType::Data:
+      case MsgType::DataExcl:
+      case MsgType::DataOwner:
+        handleFill(msg, now);
+        break;
+
+      case MsgType::Inv:
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetX:
+        // RoW snoop hook: EW/RW contention detection (§IV-A/B).
+        client->externalRequestSnoop(msg.line, now);
+        if (client->lineLocked(msg.line)) {
+            stalledExternals.push_back({msg, now});
+            stats_.counter("lockStalledExternals")++;
+        } else {
+            applyExternal(msg, now);
+        }
+        break;
+
+      case MsgType::WBAck:
+        evicting.erase(msg.line);
+        break;
+
+      default:
+        ROWSIM_PANIC("private cache cannot handle %s",
+                     msgTypeName(msg.type));
+    }
+}
+
+void
+PrivateCache::unlockNotify(Addr line, Cycle now)
+{
+    for (auto it = stalledExternals.begin(); it != stalledExternals.end();) {
+        if (it->msg.line == line && !client->lineLocked(line)) {
+            Msg m = it->msg;
+            it = stalledExternals.erase(it);
+            stats_.average("lockStallCycles").sample(
+                static_cast<double>(now - m.sent));
+            applyExternal(m, now);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+PrivateCache::drainPending(Cycle now)
+{
+    while (!pendingAccesses.empty() && mshrs.size() < params.mshrs) {
+        auto [a, req_cycle] = pendingAccesses.front();
+        pendingAccesses.pop_front();
+        (void)req_cycle; // conservatively re-time from now
+        access(a, now);
+    }
+}
+
+void
+PrivateCache::tick(Cycle now)
+{
+    while (!dueResults.empty() && dueResults.begin()->first <= now) {
+        MemResult r = dueResults.begin()->second;
+        dueResults.erase(dueResults.begin());
+        client->accessDone(r);
+    }
+
+    if (!deferredFills.empty()) {
+        std::vector<Msg> retry;
+        retry.swap(deferredFills);
+        for (const auto &msg : retry)
+            handleFill(msg, now);
+    }
+
+    if (!stalledExternals.empty()) {
+        for (auto it = stalledExternals.begin();
+             it != stalledExternals.end();) {
+            if (now - it->arrival > lockStealThreshold)
+                stats_.counter("stealAttempts")++;
+            if (now - it->arrival > lockStealThreshold &&
+                client->tryForceUnlock(it->msg.line, now)) {
+                Msg m = it->msg;
+                it = stalledExternals.erase(it);
+                stats_.counter("lockSteals")++;
+                applyExternal(m, now);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+bool
+PrivateCache::idle() const
+{
+    return mshrs.empty() && dueResults.empty() && pendingAccesses.empty() &&
+           evicting.empty() && stalledExternals.empty() &&
+           deferredFills.empty();
+}
+
+CacheState
+PrivateCache::lineState(Addr line) const
+{
+    const auto *l = l2Array.peek(line);
+    return l ? l->state : CacheState::Invalid;
+}
+
+bool
+PrivateCache::inL1(Addr line) const
+{
+    return l1Array.peek(line) != nullptr;
+}
+
+} // namespace rowsim

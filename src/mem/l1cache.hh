@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Per-core private cache unit: an L1D latency filter in front of an
+ * L2-sized coherence array, with MSHRs, a writeback (evicting) buffer,
+ * external-request stalling against AQ-locked lines, and the snoop hooks
+ * RoW's contention detectors need.
+ *
+ * The L1D and private L2 form a single coherence unit (see DESIGN.md §5):
+ * the directory tracks per-core ownership; the L1 array only decides
+ * whether a present line costs the L1 or the L2 hit latency.
+ */
+
+#ifndef ROWSIM_MEM_L1CACHE_HH
+#define ROWSIM_MEM_L1CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "mem/mshr.hh"
+#include "net/message.hh"
+#include "net/network.hh"
+
+namespace rowsim
+{
+
+class FunctionalMemory;
+
+/** A memory access issued by the core to its private cache unit. */
+struct MemAccess
+{
+    Addr addr = invalidAddr;
+    std::uint64_t token = 0;     ///< echoed back in the completion
+    bool needExclusive = false;  ///< store write or atomic
+    bool isAtomic = false;       ///< lock the line on arrival
+    bool isWrite = false;        ///< store write (performed functionally)
+    std::uint64_t writeValue = 0;
+};
+
+/** Completion record for loads and store writes. */
+struct MemResult
+{
+    std::uint64_t token = 0;
+    Addr addr = invalidAddr;
+    FillSource source = FillSource::L1Hit;
+    Cycle requestCycle = 0;  ///< when the core called access()
+    Cycle doneCycle = 0;
+    std::uint64_t value = 0; ///< loaded value (loads only)
+};
+
+/**
+ * Interface the core exposes to its private cache unit: completions,
+ * AQ lock queries, atomic lock notification, and the RoW snoop hooks.
+ */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** A load or store write finished. */
+    virtual void accessDone(const MemResult &r) = 0;
+
+    /**
+     * The line an atomic requested is now present in M state; the core
+     * must set the AQ locked bit *now* (atomicity window starts here).
+     *
+     * @param token core-side id of the atomic access
+     * @param line line-aligned address
+     * @param source where the data came from
+     * @param netIssueCycle when the GetX entered the network (14-bit
+     *        timestamp base for the Dir detector)
+     * @param contentionHint the directory flagged concurrent interest in
+     *        the transaction (RWDirNotify extension)
+     */
+    virtual void atomicLineReady(std::uint64_t token, Addr line,
+                                 FillSource source, Cycle netIssueCycle,
+                                 bool contentionHint, Cycle now) = 0;
+
+    /** Is this line currently locked by an in-flight atomic (AQ snoop)? */
+    virtual bool lineLocked(Addr line) const = 0;
+
+    /**
+     * An external request (Inv/FwdGetS/FwdGetX) for @p line reached this
+     * core. RoW marks matching AQ entries contended here (EW: only if
+     * locked; RW: any in-flight atomic with a matching address).
+     */
+    virtual void externalRequestSnoop(Addr line, Cycle now) = 0;
+
+    /**
+     * Deadlock avoidance: an external request has been stalled on a
+     * locked line for too long. If the locking atomic has not committed
+     * yet, the core must squash and replay it, releasing the lock.
+     * @return true when the lock was released.
+     */
+    virtual bool tryForceUnlock(Addr line, Cycle now) = 0;
+};
+
+/**
+ * The private cache unit. One per core; network endpoint NodeId == CoreId.
+ */
+class PrivateCache : public MsgHandler
+{
+  public:
+    PrivateCache(CoreId core, const MemParams &params, Network *net,
+                 FunctionalMemory *fmem);
+
+    void setClient(MemClient *c) { client = c; }
+
+    /** Issue an access. Hits complete after the L1/L2 latency; misses
+     *  allocate an MSHR and go to the directory. */
+    void access(const MemAccess &a, Cycle now);
+
+    /** The core wrote the STU and released the AQ lock for @p line:
+     *  process any stalled external requests. */
+    void unlockNotify(Addr line, Cycle now);
+
+    /** Advance internal events (scheduled completions, stall timeouts). */
+    void tick(Cycle now);
+
+    void deliver(const Msg &msg, Cycle now) override;
+
+    /** True when nothing is outstanding (quiesced; used by tests). */
+    bool idle() const;
+
+    /** Presence/state probe for tests. */
+    CacheState lineState(Addr line) const;
+    /** True when the line hits in the (smaller) L1 array. */
+    bool inL1(Addr line) const;
+
+    StatGroup &stats() { return stats_; }
+
+    /** Stall age beyond which a pre-commit lock is forcibly released
+     *  (cross-core deadlock avoidance; initialised from
+     *  MemParams::lockStealThreshold, writable for tests). */
+    Cycle lockStealThreshold;
+
+  private:
+    struct StalledExternal
+    {
+        Msg msg;
+        Cycle arrival;
+    };
+
+    /** Handle a data reply (fill) of any flavour. */
+    void handleFill(const Msg &msg, Cycle now);
+    /** Apply an external request that is (no longer) blocked by a lock. */
+    void applyExternal(const Msg &msg, Cycle now);
+    /** Send a request to the home bank, allocating the MSHR. */
+    void sendRequest(Addr line, bool exclusive, bool prefetch, Cycle now);
+    /** Complete a hit / fill for one waiter. */
+    void completeWaiter(const MshrWaiter &w, FillSource src,
+                        Cycle fill_cycle, Cycle net_issue,
+                        bool contention_hint, Cycle now);
+    /** Insert @p line into L1+L2 arrays, evicting as needed.
+     *  @return false when every way is pinned and the fill must retry. */
+    bool installLine(Addr line, CacheState state, Cycle now);
+    /** Evict from the L2 (coherence) array: PutM if dirty. */
+    void evictLine(CacheArray::Line *way, Cycle now);
+    /** Issue a next-line prefetch after a demand miss. */
+    void maybePrefetch(Addr line, Cycle now);
+    /** Try to start pending accesses that were waiting for a free MSHR. */
+    void drainPending(Cycle now);
+
+    CoreId coreId;
+    MemParams params;
+    Network *net;
+    FunctionalMemory *fmem;
+    MemClient *client = nullptr;
+
+    CacheArray l1Array;
+    CacheArray l2Array; ///< the coherence array
+
+    std::unordered_map<Addr, Mshr> mshrs;
+    std::deque<std::pair<MemAccess, Cycle>> pendingAccesses;
+    /** Dirty lines with a PutM in flight; they still answer forwards. */
+    std::unordered_map<Addr, bool> evicting;
+    std::vector<StalledExternal> stalledExternals;
+    /** Fills that could not find an unpinned victim, retried each tick. */
+    std::vector<Msg> deferredFills;
+
+    std::multimap<Cycle, MemResult> dueResults;
+
+    StatGroup stats_;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_MEM_L1CACHE_HH

@@ -1,0 +1,48 @@
+#include "mem/memsystem.hh"
+
+namespace rowsim
+{
+
+MemSystem::MemSystem(const SystemParams &params)
+    : net(params.numCores, params.net)
+{
+    caches.reserve(params.numCores);
+    banks.reserve(params.numCores);
+    for (CoreId c = 0; c < params.numCores; c++) {
+        caches.emplace_back(
+            std::make_unique<PrivateCache>(c, params.mem, &net, &fmem));
+        net.attach(c, caches.back().get());
+    }
+    for (unsigned b = 0; b < params.numCores; b++) {
+        banks.emplace_back(
+            std::make_unique<Directory>(b, params.numCores, params.mem,
+                                        &net));
+        net.attach(params.numCores + b, banks.back().get());
+    }
+}
+
+void
+MemSystem::tick(Cycle now)
+{
+    net.tick(now);
+    for (auto &b : banks)
+        b->tick(now);
+    for (auto &c : caches)
+        c->tick(now);
+}
+
+bool
+MemSystem::idle() const
+{
+    if (!net.idle())
+        return false;
+    for (const auto &b : banks)
+        if (!b->idle())
+            return false;
+    for (const auto &c : caches)
+        if (!c->idle())
+            return false;
+    return true;
+}
+
+} // namespace rowsim

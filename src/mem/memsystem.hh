@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional (value) memory and the memory-system container that owns the
+ * network, private caches, and directory banks.
+ *
+ * Timing and values are deliberately separated: the coherence protocol
+ * moves permissions, while values live here and are read/written at the
+ * timing instants when the protocol holds the corresponding permission.
+ * The atomicity invariant tests rely on this: if locking were broken, two
+ * cores could read the same counter value and lose an update.
+ */
+
+#ifndef ROWSIM_MEM_MEMSYSTEM_HH
+#define ROWSIM_MEM_MEMSYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "mem/directory.hh"
+#include "mem/l1cache.hh"
+#include "net/network.hh"
+
+namespace rowsim
+{
+
+/** Word-granular (8-byte) value store backing the whole address space. */
+class FunctionalMemory
+{
+  public:
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        auto it = words.find(addr & ~7ULL);
+        return it == words.end() ? 0 : it->second;
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        words[addr & ~7ULL] = value;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words;
+};
+
+/**
+ * Owns every memory-side component of the simulated chip. Cores attach
+ * themselves as MemClients of their PrivateCache.
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const SystemParams &params);
+
+    PrivateCache &cache(CoreId core) { return *caches[core]; }
+    Directory &directory(unsigned bank) { return *banks[bank]; }
+    Network &network() { return net; }
+    FunctionalMemory &functional() { return fmem; }
+    unsigned numBanks() const { return static_cast<unsigned>(banks.size()); }
+
+    /** Advance all memory-side components one cycle. */
+    void tick(Cycle now);
+
+    /** True when no message, miss, or transaction is outstanding. */
+    bool idle() const;
+
+  private:
+    Network net;
+    FunctionalMemory fmem;
+    std::vector<std::unique_ptr<PrivateCache>> caches;
+    std::vector<std::unique_ptr<Directory>> banks;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_MEM_MEMSYSTEM_HH

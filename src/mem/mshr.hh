@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Miss Status Holding Register bookkeeping for the private cache unit.
+ */
+
+#ifndef ROWSIM_MEM_MSHR_HH
+#define ROWSIM_MEM_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rowsim
+{
+
+/** One outstanding demand/prefetch access registered with an MSHR. */
+struct MshrWaiter
+{
+    std::uint64_t token = 0;   ///< core-side identifier, echoed back
+    Cycle requestCycle = 0;    ///< when the core issued the access
+    bool needExclusive = false;
+    bool isAtomic = false;
+    bool isWrite = false;
+    std::uint64_t writeValue = 0;
+    Addr addr = invalidAddr;   ///< full (not line-aligned) address
+};
+
+/** An outstanding miss: one per line with a request in the network. */
+struct Mshr
+{
+    Addr line = invalidAddr;
+    /** Did the request in flight ask for exclusive permission? */
+    bool exclusiveRequested = false;
+    bool prefetchOnly = false;
+    /** Cycle the GetS/GetX actually entered the network. */
+    Cycle netIssueCycle = 0;
+    std::vector<MshrWaiter> waiters;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_MEM_MSHR_HH

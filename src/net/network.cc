@@ -1,0 +1,117 @@
+#include "net/network.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetX: return "GetX";
+      case MsgType::PutM: return "PutM";
+      case MsgType::Data: return "Data";
+      case MsgType::DataExcl: return "DataExcl";
+      case MsgType::Inv: return "Inv";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetX: return "FwdGetX";
+      case MsgType::WBAck: return "WBAck";
+      case MsgType::DataOwner: return "DataOwner";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::Unblock: return "Unblock";
+    }
+    return "?";
+}
+
+std::string
+Msg::toString() const
+{
+    return strprintf("%s line=%#lx %u->%u req=%u priv=%d",
+                     msgTypeName(type), static_cast<unsigned long>(line),
+                     src, dst, requester, fromPrivateCache);
+}
+
+Network::Network(unsigned num_cores, const NetParams &p)
+    : numCores(num_cores), params(p),
+      handlers(2 * static_cast<std::size_t>(num_cores), nullptr),
+      stats_("network")
+{
+    // Square-ish mesh of tiles; each tile has a core and a bank, so the
+    // mesh holds numCores tiles.
+    meshX = static_cast<unsigned>(std::ceil(std::sqrt(num_cores)));
+    meshY = (num_cores + meshX - 1) / meshX;
+}
+
+void
+Network::attach(NodeId node, MsgHandler *handler)
+{
+    ROWSIM_ASSERT(node < handlers.size(), "node id %u out of range", node);
+    handlers[node] = handler;
+}
+
+void
+Network::coords(NodeId node, unsigned &x, unsigned &y) const
+{
+    // Core i and bank i live on the same tile.
+    unsigned tile = node % numCores;
+    x = tile % meshX;
+    y = tile / meshX;
+}
+
+unsigned
+Network::hops(NodeId a, NodeId b) const
+{
+    unsigned ax, ay, bx, by;
+    coords(a, ax, ay);
+    coords(b, bx, by);
+    auto d = [](unsigned p, unsigned q) { return p > q ? p - q : q - p; };
+    return d(ax, bx) + d(ay, by);
+}
+
+Cycle
+Network::latency(NodeId a, NodeId b) const
+{
+    // Same-tile messages still pay one router traversal.
+    unsigned h = hops(a, b);
+    return params.hopLatency * (h + 1);
+}
+
+NodeId
+Network::homeBank(Addr line) const
+{
+    return numCores + static_cast<NodeId>(lineNum(line) % numCores);
+}
+
+void
+Network::send(Msg msg, Cycle now)
+{
+    msg.sent = now;
+    Cycle due = now + latency(msg.src, msg.dst);
+    auto key = std::make_pair(msg.src, msg.dst);
+    auto it = lastDelivery.find(key);
+    if (it != lastDelivery.end() && due < it->second)
+        due = it->second; // preserve point-to-point ordering
+    lastDelivery[key] = due;
+    inFlight.push({due, nextOrder++, msg});
+    stats_.counter("messages")++;
+    stats_.average("hops").sample(hops(msg.src, msg.dst));
+}
+
+void
+Network::tick(Cycle now)
+{
+    while (!inFlight.empty() && inFlight.top().due <= now) {
+        Pending p = inFlight.top();
+        inFlight.pop();
+        MsgHandler *h = handlers[p.msg.dst];
+        ROWSIM_ASSERT(h != nullptr, "no handler attached at node %u",
+                      p.msg.dst);
+        h->deliver(p.msg, now);
+    }
+}
+
+} // namespace rowsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Latency-accurate 2D-mesh interconnect model (GARNET substitute).
+ *
+ * Each tile holds one core and one directory/LLC bank. Messages pay a
+ * Manhattan-distance hop latency and are delivered in order per
+ * (source, destination) pair, matching the in-order virtual-network
+ * delivery that directory protocols rely on.
+ */
+
+#ifndef ROWSIM_NET_NETWORK_HH
+#define ROWSIM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "net/message.hh"
+
+namespace rowsim
+{
+
+/**
+ * The on-chip network. Endpoints register themselves by NodeId; send()
+ * computes the delivery cycle from mesh distance and enqueues; tick()
+ * delivers everything due at the current cycle.
+ */
+class Network
+{
+  public:
+    Network(unsigned num_cores, const NetParams &params);
+
+    /** Attach the handler for @p node (cores first, then banks). */
+    void attach(NodeId node, MsgHandler *handler);
+
+    /** Inject a message at cycle @p now. */
+    void send(Msg msg, Cycle now);
+
+    /** Deliver all messages due at @p now. */
+    void tick(Cycle now);
+
+    /** True when no messages are in flight. */
+    bool idle() const { return inFlight.empty(); }
+
+    /** NodeId of the directory bank homing @p line. */
+    NodeId homeBank(Addr line) const;
+
+    /** Hop count between two nodes (exposed for tests). */
+    unsigned hops(NodeId a, NodeId b) const;
+
+    /** One-way latency between two nodes (exposed for tests). */
+    Cycle latency(NodeId a, NodeId b) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Pending
+    {
+        Cycle due;
+        std::uint64_t order; ///< global injection order, tie-breaker
+        Msg msg;
+        bool operator>(const Pending &o) const
+        {
+            return due != o.due ? due > o.due : order > o.order;
+        }
+    };
+
+    /** Tile coordinates of a node in the mesh. */
+    void coords(NodeId node, unsigned &x, unsigned &y) const;
+
+    unsigned numCores;
+    unsigned meshX, meshY;
+    NetParams params;
+
+    std::vector<MsgHandler *> handlers;
+    std::priority_queue<Pending, std::vector<Pending>,
+                        std::greater<Pending>> inFlight;
+    /** Last delivery cycle per (src,dst) to enforce point-to-point order. */
+    std::map<std::pair<NodeId, NodeId>, Cycle> lastDelivery;
+    std::uint64_t nextOrder = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_NET_NETWORK_HH

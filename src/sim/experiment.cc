@@ -1,0 +1,186 @@
+#include "sim/experiment.hh"
+
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+namespace rowsim
+{
+
+ExpConfig
+eagerConfig(bool forwarding)
+{
+    ExpConfig c;
+    c.label = forwarding ? "eager+fwd" : "eager";
+    c.policy = AtomicPolicy::Eager;
+    c.forwardToAtomics = forwarding;
+    return c;
+}
+
+ExpConfig
+lazyConfig()
+{
+    ExpConfig c;
+    c.label = "lazy";
+    c.policy = AtomicPolicy::Lazy;
+    return c;
+}
+
+ExpConfig
+fencedConfig()
+{
+    ExpConfig c;
+    c.label = "fenced";
+    c.policy = AtomicPolicy::Fenced;
+    return c;
+}
+
+namespace
+{
+const char *
+detectorName(ContentionDetector d)
+{
+    switch (d) {
+      case ContentionDetector::EW: return "EW";
+      case ContentionDetector::RW: return "RW";
+      case ContentionDetector::RWDir: return "RW+Dir";
+      case ContentionDetector::RWDirNotify: return "RW+DirNtf";
+    }
+    return "?";
+}
+
+const char *
+updateName(PredictorUpdate u)
+{
+    switch (u) {
+      case PredictorUpdate::UpDown: return "U/D";
+      case PredictorUpdate::SaturateOnContention: return "Sat";
+      case PredictorUpdate::TwoUpOneDown: return "+2/-1";
+    }
+    return "?";
+}
+} // namespace
+
+ExpConfig
+rowConfig(ContentionDetector det, PredictorUpdate upd, bool forwarding)
+{
+    ExpConfig c;
+    c.label = std::string(detectorName(det)) + "_" + updateName(upd) +
+              (forwarding ? "+fwd" : "");
+    c.policy = AtomicPolicy::RoW;
+    c.detector = det;
+    c.update = upd;
+    c.forwardToAtomics = forwarding;
+    return c;
+}
+
+std::vector<ExpConfig>
+fig9Configs()
+{
+    std::vector<ExpConfig> v;
+    v.push_back(eagerConfig());
+    v.push_back(lazyConfig());
+    for (auto det : {ContentionDetector::EW, ContentionDetector::RW,
+                     ContentionDetector::RWDir}) {
+        for (auto upd : {PredictorUpdate::UpDown,
+                         PredictorUpdate::SaturateOnContention}) {
+            v.push_back(rowConfig(det, upd));
+        }
+    }
+    return v;
+}
+
+SystemParams
+makeParams(const ExpConfig &cfg, unsigned num_cores, std::uint64_t seed)
+{
+    SystemParams sp;
+    sp.numCores = num_cores;
+    sp.seed = seed;
+    sp.core.atomicPolicy = cfg.policy;
+    sp.core.forwardToAtomics = cfg.forwardToAtomics;
+    sp.core.row.detector = cfg.detector;
+    sp.core.row.update = cfg.update;
+    sp.core.row.latencyThreshold = cfg.latencyThreshold;
+    sp.core.row.predictorEntries = cfg.predictorEntries;
+    sp.core.row.localityPromotion = cfg.localityPromotion;
+    return sp;
+}
+
+namespace
+{
+
+/** Run @p workload on a fully-specified system and harvest the metrics. */
+RunResult
+runAndCollect(const std::string &workload, const SystemParams &sp,
+              const std::string &label, std::uint64_t quota)
+{
+    const WorkloadProfile profile = profileFor(workload);
+    if (quota == 0)
+        quota = defaultQuota(workload);
+
+    System sys(sp, makeStreams(profile, sp.numCores, sp.seed));
+
+    RunResult r;
+    r.workload = workload;
+    r.config = label;
+    r.cycles = sys.run(quota);
+
+    r.instructions = sys.totalInstructions();
+    r.atomicsCommitted = sys.totalAtomics();
+    r.atomicsPer10k =
+        r.instructions
+            ? 1e4 * static_cast<double>(r.atomicsCommitted) /
+                  static_cast<double>(r.instructions)
+            : 0.0;
+
+    r.atomicsUnlocked = sys.totalCounter("atomicsUnlocked");
+    r.detectedContended = sys.totalCounter("atomicsDetectedContended");
+    r.oracleContended = sys.totalCounter("atomicsOracleContended");
+    r.contendedPct =
+        r.atomicsUnlocked
+            ? 100.0 * static_cast<double>(r.oracleContended) /
+                  static_cast<double>(r.atomicsUnlocked)
+            : 0.0;
+
+    r.missLatency = sys.meanCacheAverage("missLatency");
+    r.dispatchToIssue = sys.meanAverage("atomicDispatchToIssue");
+    r.issueToLock = sys.meanAverage("atomicIssueToLock");
+    r.lockToUnlock = sys.meanAverage("atomicLockToUnlock");
+    r.olderUnexecuted = sys.meanAverage("olderUnexecutedAtIssue");
+    r.youngerStarted = sys.meanAverage("youngerStartedAtIssue");
+
+    std::uint64_t updates = 0, correct = 0;
+    for (CoreId c = 0; c < sys.numCores(); c++) {
+        updates += sys.core(c).predictor().stats().counterValue("updates");
+        correct += sys.core(c).predictor().stats().counterValue("correct");
+    }
+    r.predAccuracy = updates ? 100.0 * static_cast<double>(correct) /
+                                   static_cast<double>(updates)
+                             : 0.0;
+
+    r.atomicsForwarded = sys.totalCounter("atomicsForwarded");
+    r.atomicsPromoted = sys.totalCounter("atomicsPromotedEager");
+    r.forcedUnlocks = sys.totalCounter("forcedUnlocks");
+    r.eagerIssued = sys.totalCounter("atomicsIssuedEager");
+    r.lazyIssued = sys.totalCounter("atomicsIssuedLazy");
+    return r;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const std::string &workload, const ExpConfig &cfg,
+              unsigned num_cores, std::uint64_t quota, std::uint64_t seed)
+{
+    return runAndCollect(workload, makeParams(cfg, num_cores, seed),
+                         cfg.label, quota);
+}
+
+RunResult
+runExperimentParams(const std::string &workload, const SystemParams &params,
+                    const std::string &label, std::uint64_t quota)
+{
+    return runAndCollect(workload, params, label, quota);
+}
+
+} // namespace rowsim

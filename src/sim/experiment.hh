@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment harness: configures a System for one (workload, policy)
+ * pair, runs it to quota, and extracts every metric the paper's figures
+ * report. All benches and integration tests go through this API.
+ */
+
+#ifndef ROWSIM_SIM_EXPERIMENT_HH
+#define ROWSIM_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace rowsim
+{
+
+/** One experiment configuration (a bar in Fig. 9 / Fig. 13). */
+struct ExpConfig
+{
+    std::string label = "eager";
+    AtomicPolicy policy = AtomicPolicy::Eager;
+    ContentionDetector detector = ContentionDetector::RWDir;
+    PredictorUpdate update = PredictorUpdate::SaturateOnContention;
+    bool forwardToAtomics = false;
+    bool localityPromotion = true;
+    Cycle latencyThreshold = 400;
+    unsigned predictorEntries = 64;
+};
+
+/** Everything a figure could want from one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t atomicsCommitted = 0;
+    double atomicsPer10k = 0;
+
+    std::uint64_t atomicsUnlocked = 0;
+    std::uint64_t detectedContended = 0;
+    std::uint64_t oracleContended = 0;
+    /** % of atomics facing contention (oracle; Fig. 5 red line). */
+    double contendedPct = 0;
+
+    /** Mean L1D miss latency over all memory instructions (Fig. 11). */
+    double missLatency = 0;
+
+    // Fig. 6 latency breakdown (means over unlocked atomics).
+    double dispatchToIssue = 0;
+    double issueToLock = 0;
+    double lockToUnlock = 0;
+
+    // Fig. 4 independent-instruction counts at atomic issue.
+    double olderUnexecuted = 0;
+    double youngerStarted = 0;
+
+    /** Contention-prediction accuracy (Fig. 12); 0 when not RoW. */
+    double predAccuracy = 0;
+
+    std::uint64_t atomicsForwarded = 0;
+    std::uint64_t atomicsPromoted = 0;
+    std::uint64_t forcedUnlocks = 0;
+    std::uint64_t eagerIssued = 0;
+    std::uint64_t lazyIssued = 0;
+};
+
+/** Standard configurations used across the figures. */
+ExpConfig eagerConfig(bool forwarding = false);
+ExpConfig lazyConfig();
+ExpConfig fencedConfig();
+ExpConfig rowConfig(ContentionDetector det, PredictorUpdate upd,
+                    bool forwarding = false);
+/** The Fig. 9 bar set: eager, lazy, EW/RW/RW+Dir x U/D / Sat. */
+std::vector<ExpConfig> fig9Configs();
+
+/**
+ * Run @p workload under @p cfg.
+ * @param quota per-core iterations (0: the workload's default)
+ */
+RunResult runExperiment(const std::string &workload, const ExpConfig &cfg,
+                        unsigned num_cores = 32, std::uint64_t quota = 0,
+                        std::uint64_t seed = 1);
+
+/** Build the SystemParams for a config (exposed for tests). */
+SystemParams makeParams(const ExpConfig &cfg, unsigned num_cores,
+                        std::uint64_t seed);
+
+/**
+ * Run @p workload with explicit SystemParams — the entry point for
+ * microarchitectural ablations (AQ size, re-issue delay, lock-steal
+ * threshold, ...) that ExpConfig does not expose.
+ */
+RunResult runExperimentParams(const std::string &workload,
+                              const SystemParams &params,
+                              const std::string &label,
+                              std::uint64_t quota = 0);
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_EXPERIMENT_HH

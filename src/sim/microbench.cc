@@ -1,0 +1,136 @@
+#include "sim/microbench.hh"
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+namespace rowsim
+{
+
+const char *
+rmwKindName(RmwKind k)
+{
+    switch (k) {
+      case RmwKind::FAA: return "FAA";
+      case RmwKind::CAS: return "CAS";
+      case RmwKind::SWAP: return "SWAP";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** The microbenchmark loop body, regenerated with fresh random indices. */
+class MicrobenchStream : public InstStream
+{
+  public:
+    MicrobenchStream(const MicrobenchVariant &v, std::uint64_t seed)
+        : var(v), rng(seed)
+    {
+        // xchg with a memory operand is always locked on x86 [18].
+        effectiveLock = var.lockPrefix || var.kind == RmwKind::SWAP;
+    }
+
+    MicroOp
+    next() override
+    {
+        if (pos >= buf.size())
+            genIteration();
+        return buf[pos++];
+    }
+
+  private:
+    static constexpr std::uint64_t arrayWords = 1ULL << 20; // 64MB of lines
+
+    void
+    genIteration()
+    {
+        buf.clear();
+        pos = 0;
+        const Addr target =
+            addrmap::privateLine(0, rng.below(arrayWords));
+
+        auto emit = [this](MicroOp op) {
+            op.pc = 0x500000 + 4 * buf.size();
+            buf.push_back(op);
+        };
+
+        // A couple of index-computation ALU ops.
+        MicroOp alu;
+        alu.cls = OpClass::IntAlu;
+        emit(alu);
+        emit(alu);
+
+        if (var.mfence) {
+            MicroOp f;
+            f.cls = OpClass::Fence;
+            emit(f);
+        }
+
+        if (effectiveLock) {
+            MicroOp at;
+            at.cls = OpClass::AtomicRMW;
+            at.aop = var.kind == RmwKind::FAA   ? AtomicOp::FetchAdd
+                     : var.kind == RmwKind::CAS ? AtomicOp::CompareSwap
+                                                : AtomicOp::Swap;
+            at.addr = target;
+            at.value = 1;
+            emit(at);
+        } else {
+            // Plain RMW: load, modify, store to the same word.
+            MicroOp ld;
+            ld.cls = OpClass::Load;
+            ld.addr = target;
+            emit(ld);
+            MicroOp op;
+            op.cls = OpClass::IntAlu;
+            op.src0 = 1;
+            emit(op);
+            MicroOp st;
+            st.cls = OpClass::Store;
+            st.addr = target;
+            st.value = 1;
+            st.src0 = 1;
+            emit(st);
+        }
+
+        if (var.mfence) {
+            MicroOp f;
+            f.cls = OpClass::Fence;
+            emit(f);
+        }
+
+        buf.back().endOfIteration = true;
+    }
+
+    MicrobenchVariant var;
+    bool effectiveLock;
+    Rng rng;
+    std::vector<MicroOp> buf;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+double
+microbenchCyclesPerIter(const MicrobenchVariant &v, std::uint64_t iterations,
+                        std::uint64_t seed)
+{
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.seed = seed;
+    sp.core.atomicPolicy =
+        v.oldCore ? AtomicPolicy::Fenced : AtomicPolicy::Eager;
+
+    std::vector<std::unique_ptr<InstStream>> streams;
+    streams.push_back(std::make_unique<MicrobenchStream>(v, seed));
+
+    System sys(sp, std::move(streams));
+    const Cycle cycles = sys.run(iterations);
+    return static_cast<double>(cycles) / static_cast<double>(iterations);
+}
+
+} // namespace rowsim

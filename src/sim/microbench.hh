@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The §II-A microbenchmark (Fig. 2): a single thread performing RMW
+ * operations on random elements of an array far larger than the caches,
+ * in four variants (±lock prefix, ±explicit mfences), on two simulated
+ * microarchitectures: "old" (fenced atomics, Kentsfield-like) and "new"
+ * (unfenced atomics, Coffee-Lake-like).
+ */
+
+#ifndef ROWSIM_SIM_MICROBENCH_HH
+#define ROWSIM_SIM_MICROBENCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/microop.hh"
+
+namespace rowsim
+{
+
+/** RMW instruction under test. */
+enum class RmwKind : std::uint8_t
+{
+    FAA,  ///< (lock) xadd
+    CAS,  ///< (lock) cmpxchg
+    SWAP, ///< xchg — implicitly locked even without the prefix [18]
+};
+
+const char *rmwKindName(RmwKind k);
+
+struct MicrobenchVariant
+{
+    RmwKind kind = RmwKind::FAA;
+    bool lockPrefix = false;  ///< atomic RMW vs plain load-op-store
+    bool mfence = false;      ///< explicit mfence before and after
+    bool oldCore = false;     ///< fenced-atomic microarchitecture
+};
+
+/**
+ * Run the microbenchmark and return cycles per iteration.
+ * Note the x86 xchg rule: SWAP executes locked regardless of the prefix.
+ */
+double microbenchCyclesPerIter(const MicrobenchVariant &v,
+                               std::uint64_t iterations = 2000,
+                               std::uint64_t seed = 1);
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_MICROBENCH_HH

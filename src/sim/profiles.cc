@@ -1,0 +1,300 @@
+#include "sim/profiles.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+namespace
+{
+
+/**
+ * Profile table. Tuning rationale (paper Fig. 1 / Fig. 5 targets):
+ *
+ *  - canneal / freqmine: atomic-intensive, essentially uncontended
+ *    (random elements of huge arrays), long-latency atomics that eager
+ *    execution hides under older independent misses. Eager wins big.
+ *  - pc / sps / tpcc: fine-grain-synchronisation kernels hammering a
+ *    handful of shared counters from 32 threads; locks held while older
+ *    slow loads commit make eager execution serialise the whole chip.
+ *    Lazy wins big.
+ *  - cq / tatp: contended but with store->atomic locality on the same
+ *    word; eager (and forwarding) wins despite contention (§IV-E).
+ *  - barnes: moderate contention, partial locality.
+ *  - streamcluster / raytrace: contended atomics whose surrounding code
+ *    is a dependence chain (little independent younger work): lazy
+ *    mildly wins.
+ *  - volrend / fmm / radiosity: atomic-poor; insensitive.
+ *  - blackscholes .. fft: synchronisation-poor PARSEC/Splash stand-ins
+ *    for the "all applications" average (§VI: +4.0% overall).
+ */
+std::map<std::string, WorkloadProfile>
+buildTable()
+{
+    std::map<std::string, WorkloadProfile> t;
+
+    auto add = [&t](WorkloadProfile p) {
+        t[p.name] = p;
+    };
+
+    {
+        WorkloadProfile p;
+        p.name = "canneal";
+        p.aop = AtomicOp::Swap;
+        p.sharedAtomicWords = 1ULL << 20; // random swaps, never contended
+        p.loadsBefore = 6;
+        p.loadsAfter = 4;
+        p.privateLines = 1ULL << 15; // 2MB: misses past the private L2
+        p.aluOps = 10;
+        p.fillerAlu = 40;
+        p.storesPerIter = 2;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "freqmine";
+        p.aop = AtomicOp::FetchAdd;
+        p.sharedAtomicWords = 1ULL << 16; // wide counter array
+        p.sharedFraction = 0.1;          // most hit warm private counters
+        p.privateAtomicWords = 128;      // cache-resident counter block
+        p.loadsBefore = 5;
+        p.loadsAfter = 3;
+        p.privateLines = 1ULL << 10;     // mostly cache-resident tree
+        p.aluOps = 14;
+        p.fillerAlu = 250;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "cq"; // circular queue: store slot record, bump index
+        p.aop = AtomicOp::FetchAdd;
+        p.sharedAtomicWords = 32; // slots cycle; moderate per-line overlap
+        p.storeBeforeAtomicProb = 1.0;
+        p.storeSameWordProb = 1.0; // slot flag word == atomic word
+        p.payloadStores = 3;       // record body follows the flag
+        p.chainAfterAtomic = true; // dequeue consumes the index
+        p.loadsBefore = 2;
+        p.loadsAfter = 3;
+        p.privateLines = 1ULL << 12;
+        p.aluOps = 12;
+        p.fillerAlu = 400;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "barnes";
+        p.aop = AtomicOp::FetchAdd;
+        p.sharedAtomicWords = 128; // tree nodes, occasional collisions
+        p.sharedFraction = 0.7;
+        p.storeBeforeAtomicProb = 0.4;
+        p.storeSameWordProb = 0.0; // body update next to the lock word
+        p.loadsBefore = 6;
+        p.privateLines = 1ULL << 14;
+        p.aluOps = 20;
+        p.fillerAlu = 800;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "tatp"; // update-location transaction
+        p.aop = AtomicOp::CompareSwap;
+        p.sharedAtomicWords = 64; // hot subscriber rows
+        p.storeBeforeAtomicProb = 0.8;
+        p.storeSameWordProb = 0.9;
+        p.payloadStores = 1;
+        p.loadsBefore = 4;
+        p.loadsAfter = 4;
+        p.sharedDataLines = 2048;
+        p.sharedDataProb = 0.3;
+        p.aluOps = 16;
+        p.fillerAlu = 500;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "volrend";
+        p.atomicProb = 0.5;
+        p.sharedAtomicWords = 128;
+        p.loadsBefore = 4;
+        p.privateLines = 1ULL << 12;
+        p.aluOps = 20;
+        p.fillerAlu = 600;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "fmm";
+        p.atomicProb = 0.3;
+        p.sharedAtomicWords = 256;
+        p.loadsBefore = 5;
+        p.privateLines = 1ULL << 13;
+        p.aluOps = 24;
+        p.fillerAlu = 800;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "radiosity";
+        p.atomicProb = 0.4;
+        p.sharedAtomicWords = 64;
+        p.loadsBefore = 4;
+        p.privateLines = 1ULL << 12;
+        p.aluOps = 20;
+        p.fillerAlu = 700;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "streamcluster"; // barrier-style counter in a chain
+        p.sharedAtomicWords = 12;
+        p.atomicDependsOnChain = true;
+        p.chainAfterAtomic = true;
+        p.loadsBefore = 4;
+        p.loadsAfter = 0;
+        p.privateLines = 1ULL << 13;
+        p.aluOps = 30;
+        p.aluLatency = 2;
+        p.fillerAlu = 250;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "raytrace"; // work-stealing ray counter
+        p.sharedAtomicWords = 12;
+        p.atomicDependsOnChain = true;
+        p.chainAfterAtomic = true;
+        p.loadsBefore = 5;
+        p.loadsAfter = 0;
+        p.privateLines = 1ULL << 13;
+        p.aluOps = 24;
+        p.aluLatency = 2;
+        p.fillerAlu = 450;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "tpcc"; // new-order: warehouse counters + row traffic
+        p.sharedAtomicWords = 12;
+        p.loadsBefore = 8;
+        p.loadsAfter = 8;
+        p.sharedDataLines = 4096;
+        p.sharedDataProb = 0.5;
+        p.sharedStoreProb = 0.4;
+        p.storesPerIter = 3;
+        p.privateLines = 1ULL << 14;
+        p.aluOps = 30;
+        p.fillerAlu = 150;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "sps"; // swaps on a small shared array
+        p.aop = AtomicOp::Swap;
+        p.sharedAtomicWords = 4;
+        p.loadsBefore = 4;
+        p.loadsAfter = 6;
+        p.privateLines = 1ULL << 15;
+        p.aluOps = 10;
+        p.fillerAlu = 50;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "pc"; // producer/consumer head+tail counters
+        p.sharedAtomicWords = 2;
+        p.loadsBefore = 4;
+        p.loadsAfter = 6;
+        p.sharedDataLines = 256;
+        p.sharedDataProb = 0.3;
+        p.sharedStoreProb = 0.3;
+        p.privateLines = 1ULL << 15;
+        p.aluOps = 10;
+        p.fillerAlu = 60;
+        add(p);
+    }
+
+    // ---- synchronisation-poor applications ("all apps" average) ----
+    auto addQuiet = [&](const char *name, unsigned filler,
+                        double atomic_prob) {
+        WorkloadProfile p;
+        p.name = name;
+        p.atomicProb = atomic_prob;
+        p.sharedAtomicWords = 1024;
+        p.loadsBefore = 8;
+        p.loadsAfter = 4;
+        p.privateLines = 1ULL << 13;
+        p.aluOps = 24;
+        p.fillerAlu = filler;
+        add(p);
+    };
+    addQuiet("blackscholes", 400, 0.0);
+    addQuiet("swaptions", 350, 0.0);
+    addQuiet("bodytrack", 450, 0.05);
+    addQuiet("fluidanimate", 380, 0.05);
+    addQuiet("ocean", 420, 0.02);
+    addQuiet("fft", 300, 0.0);
+
+    return t;
+}
+
+const std::map<std::string, WorkloadProfile> &
+table()
+{
+    static const std::map<std::string, WorkloadProfile> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+WorkloadProfile
+profileFor(const std::string &name)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        ROWSIM_FATAL("unknown workload '%s'", name.c_str());
+    return it->second;
+}
+
+const std::vector<std::string> &
+atomicIntensiveWorkloads()
+{
+    // Fig. 1 order: best -> worst eager-vs-lazy speedup.
+    static const std::vector<std::string> v = {
+        "canneal", "freqmine", "cq",        "barnes",        "tatp",
+        "volrend", "fmm",      "radiosity", "streamcluster", "raytrace",
+        "tpcc",    "sps",      "pc",
+    };
+    return v;
+}
+
+const std::vector<std::string> &
+allWorkloads()
+{
+    static const std::vector<std::string> v = [] {
+        std::vector<std::string> out = atomicIntensiveWorkloads();
+        out.insert(out.end(), {"blackscholes", "swaptions", "bodytrack",
+                               "fluidanimate", "ocean", "fft"});
+        return out;
+    }();
+    return v;
+}
+
+std::uint64_t
+defaultQuota(const std::string &name)
+{
+    static const std::map<std::string, std::uint64_t> q = {
+        {"canneal", 200},   {"freqmine", 400},      {"cq", 100},
+        {"barnes", 100},    {"tatp", 80},           {"volrend", 60},
+        {"fmm", 50},        {"radiosity", 50},      {"streamcluster", 120},
+        {"raytrace", 100},  {"tpcc", 120},          {"sps", 150},
+        {"pc", 150},        {"blackscholes", 40},   {"swaptions", 40},
+        {"bodytrack", 40},  {"fluidanimate", 40},   {"ocean", 40},
+        {"fft", 40},
+    };
+    auto it = q.find(name);
+    return it == q.end() ? 100 : it->second;
+}
+
+} // namespace rowsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Named benchmark profiles: one WorkloadProfile per application the paper
+ * evaluates, tuned to land in the same qualitative region of the paper's
+ * Fig. 5 (atomic intensity / contentiousness plane). See DESIGN.md §2.
+ */
+
+#ifndef ROWSIM_SIM_PROFILES_HH
+#define ROWSIM_SIM_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/workloads.hh"
+
+namespace rowsim
+{
+
+/** Profile for @p name; fatal on unknown names. */
+WorkloadProfile profileFor(const std::string &name);
+
+/** The atomic-intensive subset shown in the paper's per-figure plots,
+ *  in Fig. 1 order (best -> worst eager-vs-lazy speedup). */
+const std::vector<std::string> &atomicIntensiveWorkloads();
+
+/** All workloads (atomic-intensive + the synchronisation-poor rest) for
+ *  the "all applications" averages quoted in §VI. */
+const std::vector<std::string> &allWorkloads();
+
+/** Default per-core iteration quota giving a stable measurement for
+ *  @p name (bigger iterations need fewer of them). */
+std::uint64_t defaultQuota(const std::string &name);
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_PROFILES_HH

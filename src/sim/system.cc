@@ -1,0 +1,205 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+System::System(const SystemParams &params,
+               std::vector<std::unique_ptr<InstStream>> streams)
+    : params_(params), memsys(params), streams_(std::move(streams))
+{
+    ROWSIM_ASSERT(streams_.size() == params.numCores,
+                  "need one instruction stream per core (%u vs %zu)",
+                  params.numCores, streams_.size());
+    cores.reserve(params.numCores);
+    for (CoreId c = 0; c < params.numCores; c++) {
+        cores.emplace_back(std::make_unique<Core>(
+            c, params.core, &memsys.cache(c), &memsys.functional(),
+            streams_[c].get()));
+    }
+    // Directory contention oracle (Fig. 5 ground truth): concurrent
+    // interest in a line marks matching in-flight atomics on both the
+    // requesting and holding cores.
+    for (unsigned b = 0; b < memsys.numBanks(); b++) {
+        memsys.directory(b).setOracleHook(
+            [this](Addr line, CoreId requester, CoreId holder, bool overlap,
+                   Cycle now) {
+                // Holders are concurrently using the line; requesters only
+                // face contention when the transaction truly overlapped.
+                if (overlap && requester < cores.size())
+                    cores[requester]->oracleContentionHint(line, now);
+                if (holder != invalidCore && holder < cores.size())
+                    cores[holder]->oracleContentionHint(line, now);
+            });
+    }
+}
+
+void
+System::tick()
+{
+    currentCycle++;
+    memsys.tick(currentCycle);
+    for (auto &c : cores)
+        c->tick(currentCycle);
+}
+
+Cycle
+System::run(std::uint64_t iter_quota)
+{
+    while (true) {
+        tick();
+
+        bool all_done = true;
+        for (auto &c : cores) {
+            if (c->committedIterations() >= iter_quota) {
+                if (!c->isHalted())
+                    c->halt();
+            } else {
+                all_done = false;
+            }
+        }
+        if (all_done)
+            return currentCycle;
+
+        // Deadlock watchdog (DESIGN.md invariant #4).
+        const std::uint64_t insts = totalInstructions();
+        if (insts != lastProgressInsts) {
+            lastProgressInsts = insts;
+            lastProgressCycle = currentCycle;
+        } else if (currentCycle - lastProgressCycle >
+                   params_.deadlockCycles) {
+            ROWSIM_PANIC("no global commit progress for %llu cycles "
+                         "(deadlock?)",
+                         static_cast<unsigned long long>(
+                             params_.deadlockCycles));
+        }
+    }
+}
+
+void
+System::runCycles(Cycle cycles)
+{
+    const Cycle end = currentCycle + cycles;
+    while (currentCycle < end)
+        tick();
+}
+
+void
+System::drain()
+{
+    for (auto &c : cores)
+        c->halt();
+    const Cycle start = currentCycle;
+    while (true) {
+        bool quiet = memsys.idle();
+        for (auto &c : cores)
+            quiet = quiet && c->drained();
+        if (quiet)
+            return;
+        tick();
+        if (currentCycle - start > params_.deadlockCycles)
+            ROWSIM_PANIC("drain did not quiesce");
+    }
+}
+
+namespace
+{
+void
+dumpGroup(std::FILE *out, StatGroup &g)
+{
+    for (const auto &kv : g.counters()) {
+        std::fprintf(out, "%s.%s %llu\n", g.name().c_str(),
+                     kv.first.c_str(),
+                     static_cast<unsigned long long>(kv.second.value()));
+    }
+    for (const auto &kv : g.averages()) {
+        std::fprintf(out, "%s.%s mean=%.2f min=%.0f max=%.0f n=%llu\n",
+                     g.name().c_str(), kv.first.c_str(),
+                     kv.second.mean(), kv.second.min(), kv.second.max(),
+                     static_cast<unsigned long long>(kv.second.count()));
+    }
+}
+} // namespace
+
+void
+System::dumpStats(std::FILE *out) const
+{
+    auto &self = const_cast<System &>(*this);
+    std::fprintf(out, "sim.cycles %llu\n",
+                 static_cast<unsigned long long>(currentCycle));
+    std::fprintf(out, "sim.instructions %llu\n",
+                 static_cast<unsigned long long>(totalInstructions()));
+    std::fprintf(out, "sim.atomics %llu\n",
+                 static_cast<unsigned long long>(totalAtomics()));
+    for (CoreId c = 0; c < cores.size(); c++) {
+        dumpGroup(out, self.core(c).stats());
+        dumpGroup(out, self.core(c).branchPredictor().stats());
+        dumpGroup(out, self.core(c).predictor().stats());
+        dumpGroup(out, self.mem().cache(c).stats());
+    }
+    for (unsigned b = 0; b < self.mem().numBanks(); b++)
+        dumpGroup(out, self.mem().directory(b).stats());
+    dumpGroup(out, self.mem().network().stats());
+}
+
+std::uint64_t
+System::totalCounter(const std::string &name) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : cores)
+        sum += const_cast<Core &>(*c).stats().counterValue(name);
+    return sum;
+}
+
+double
+System::meanAverage(const std::string &name) const
+{
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (const auto &c : cores) {
+        const Average *a =
+            const_cast<Core &>(*c).stats().findAverage(name);
+        if (a) {
+            sum += a->sum();
+            n += a->count();
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+System::meanCacheAverage(const std::string &name) const
+{
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (CoreId c = 0; c < cores.size(); c++) {
+        const Average *a = const_cast<MemSystem &>(memsys)
+                               .cache(c).stats().findAverage(name);
+        if (a) {
+            sum += a->sum();
+            n += a->count();
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t
+System::totalInstructions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : cores)
+        sum += c->committedInstructions();
+    return sum;
+}
+
+std::uint64_t
+System::totalAtomics() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : cores)
+        sum += c->committedAtomics();
+    return sum;
+}
+
+} // namespace rowsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Whole-chip assembly: cores + private caches + directory banks + network,
+ * with the run loop and aggregate statistics used by every experiment.
+ */
+
+#ifndef ROWSIM_SIM_SYSTEM_HH
+#define ROWSIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/core.hh"
+#include "cpu/stream.hh"
+#include "mem/memsystem.hh"
+
+namespace rowsim
+{
+
+/**
+ * A simulated multicore running one InstStream per core.
+ */
+class System
+{
+  public:
+    System(const SystemParams &params,
+           std::vector<std::unique_ptr<InstStream>> streams);
+
+    /**
+     * Run until every core has committed @p iter_quota workload
+     * iterations (cores halt individually on reaching the quota, like
+     * threads arriving at a final barrier).
+     *
+     * @return the cycle at which the last core reached the quota — the
+     *         "execution time" every figure normalises.
+     */
+    Cycle run(std::uint64_t iter_quota);
+
+    /** Advance exactly @p cycles (micro-tests). */
+    void runCycles(Cycle cycles);
+
+    /** Halt every core and tick until pipelines and the memory system
+     *  fully quiesce (atomicity invariant checks read memory after). */
+    void drain();
+
+    Core &core(CoreId id) { return *cores[id]; }
+    unsigned numCores() const { return static_cast<unsigned>(cores.size()); }
+    MemSystem &mem() { return memsys; }
+    Cycle now() const { return currentCycle; }
+    const SystemParams &params() const { return params_; }
+
+    /** Dump every statistic group (cores, caches, banks, network) in a
+     *  gem5-style "group.stat value" format. */
+    void dumpStats(std::FILE *out) const;
+
+    /** Sum of a per-core counter across all cores. */
+    std::uint64_t totalCounter(const std::string &name) const;
+    /** Count-weighted mean of a per-core Average across all cores. */
+    double meanAverage(const std::string &name) const;
+    /** Count-weighted mean of a per-cache Average across all caches. */
+    double meanCacheAverage(const std::string &name) const;
+    std::uint64_t totalInstructions() const;
+    std::uint64_t totalAtomics() const;
+
+  private:
+    void tick();
+
+    SystemParams params_;
+    MemSystem memsys;
+    std::vector<std::unique_ptr<InstStream>> streams_;
+    std::vector<std::unique_ptr<Core>> cores;
+
+    Cycle currentCycle = 0;
+    std::uint64_t lastProgressInsts = 0;
+    Cycle lastProgressCycle = 0;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_SYSTEM_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the Atomic Queue (Free Atomics structure + RoW fields).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/atomic_queue.hh"
+
+using namespace rowsim;
+
+TEST(AtomicQueue, FifoAllocationOrder)
+{
+    AtomicQueue aq(4);
+    EXPECT_TRUE(aq.empty());
+    unsigned a = aq.allocate(1, 0x400, 10);
+    unsigned b = aq.allocate(2, 0x404, 11);
+    EXPECT_EQ(aq.size(), 2u);
+    EXPECT_EQ(aq.head().seq, 1u);
+    EXPECT_EQ(aq.entry(a).dispatchCycle, 10u);
+    EXPECT_EQ(aq.entry(b).pc, 0x404u);
+}
+
+TEST(AtomicQueue, UnlockMustBeInOrder)
+{
+    AtomicQueue aq(4);
+    aq.allocate(1, 0x400, 0);
+    aq.allocate(2, 0x404, 0);
+    EXPECT_THROW(aq.freeHead(2), std::logic_error);
+    aq.freeHead(1);
+    aq.freeHead(2);
+    EXPECT_TRUE(aq.empty());
+}
+
+TEST(AtomicQueue, FullDetection)
+{
+    AtomicQueue aq(2);
+    aq.allocate(1, 0, 0);
+    aq.allocate(2, 0, 0);
+    EXPECT_TRUE(aq.full());
+    EXPECT_THROW(aq.allocate(3, 0, 0), std::logic_error);
+}
+
+TEST(AtomicQueue, LineLockedSnoop)
+{
+    AtomicQueue aq(4);
+    unsigned i = aq.allocate(1, 0x400, 0);
+    aq.entry(i).addr = 0x1008; // within line 0x1000
+    EXPECT_FALSE(aq.lineLocked(0x1000));
+    aq.entry(i).locked = true;
+    EXPECT_TRUE(aq.lineLocked(0x1000));
+    EXPECT_TRUE(aq.lineLocked(0x1038)); // any offset in the line
+    EXPECT_FALSE(aq.lineLocked(0x1040)); // next line
+}
+
+TEST(AtomicQueue, ForEachMatchingFiltersByLine)
+{
+    AtomicQueue aq(4);
+    unsigned a = aq.allocate(1, 0, 0);
+    unsigned b = aq.allocate(2, 0, 0);
+    unsigned c = aq.allocate(3, 0, 0);
+    aq.entry(a).addr = 0x1000;
+    aq.entry(b).addr = 0x2000;
+    aq.entry(c).addr = invalidAddr; // address not computed yet
+    int hits = 0;
+    aq.forEachMatching(0x1000, [&](AqEntry &e) {
+        hits++;
+        e.contended = true;
+    });
+    EXPECT_EQ(hits, 1);
+    EXPECT_TRUE(aq.entry(a).contended);
+    EXPECT_FALSE(aq.entry(b).contended);
+}
+
+TEST(AtomicQueue, OlderAllLockedGatesLockOrder)
+{
+    AtomicQueue aq(4);
+    unsigned a = aq.allocate(1, 0, 0);
+    aq.allocate(2, 0, 0);
+    EXPECT_TRUE(aq.olderAllLocked(1));  // nothing older
+    EXPECT_FALSE(aq.olderAllLocked(2)); // 1 not locked yet
+    aq.entry(a).locked = true;
+    EXPECT_TRUE(aq.olderAllLocked(2));
+}
+
+TEST(AtomicQueue, FreedEntriesDoNotBlockLockOrder)
+{
+    AtomicQueue aq(4);
+    unsigned a = aq.allocate(1, 0, 0);
+    aq.allocate(2, 0, 0);
+    aq.entry(a).locked = true;
+    aq.entry(a).locked = false; // unlocking path clears before free
+    aq.freeHead(1);
+    EXPECT_TRUE(aq.olderAllLocked(2));
+}
+
+TEST(AtomicQueue, FindBySeq)
+{
+    AtomicQueue aq(4);
+    aq.allocate(7, 0, 0);
+    aq.allocate(9, 0, 0);
+    EXPECT_GE(aq.find(9), 0);
+    EXPECT_EQ(aq.find(8), -1);
+}
+
+TEST(AtomicQueue, WraparoundReuse)
+{
+    AtomicQueue aq(2);
+    aq.allocate(1, 0, 0);
+    aq.allocate(2, 0, 0);
+    aq.freeHead(1);
+    unsigned c = aq.allocate(3, 0x777, 5);
+    EXPECT_EQ(aq.entry(c).pc, 0x777u);
+    EXPECT_EQ(aq.head().seq, 2u);
+}
+
+TEST(AtomicQueue, RowStorageMatchesPaper)
+{
+    // §IV-F: 16 entries x (1 + 1 + 14) bits = 256 bits.
+    AtomicQueue aq(16);
+    EXPECT_EQ(aq.rowStorageBits(), 256u);
+}
+
+TEST(AtomicQueue, AllocationResetsRowFields)
+{
+    AtomicQueue aq(1); // single slot: reuse is immediate
+    unsigned i = aq.allocate(1, 0, 0);
+    aq.entry(i).contended = true;
+    aq.entry(i).onlyCalcAddr = true;
+    aq.entry(i).addr = 0x1234;
+    aq.freeHead(1);
+    unsigned j = aq.allocate(2, 0, 0);
+    EXPECT_EQ(i, j); // same slot reused
+    EXPECT_FALSE(aq.entry(j).contended);
+    EXPECT_FALSE(aq.entry(j).onlyCalcAddr);
+    EXPECT_EQ(aq.entry(j).addr, invalidAddr);
+}

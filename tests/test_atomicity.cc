@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Property tests for the atomicity and TSO invariants (DESIGN.md §6):
+ * under EVERY atomic execution policy and forwarding setting, concurrent
+ * fetch-and-add traffic must never lose an update. Timing and values are
+ * decoupled in the simulator, so a locking bug (e.g. an external request
+ * slipping past a locked line) shows up as a wrong final counter value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+struct PolicyCase
+{
+    AtomicPolicy policy;
+    bool forwarding;
+    ContentionDetector detector;
+    const char *name;
+};
+
+const PolicyCase kCases[] = {
+    {AtomicPolicy::Eager, false, ContentionDetector::RWDir, "eager"},
+    {AtomicPolicy::Eager, true, ContentionDetector::RWDir, "eager_fwd"},
+    {AtomicPolicy::Lazy, false, ContentionDetector::RWDir, "lazy"},
+    {AtomicPolicy::Fenced, false, ContentionDetector::RWDir, "fenced"},
+    {AtomicPolicy::RoW, false, ContentionDetector::EW, "row_ew"},
+    {AtomicPolicy::RoW, false, ContentionDetector::RW, "row_rw"},
+    {AtomicPolicy::RoW, false, ContentionDetector::RWDir, "row_rwdir"},
+    {AtomicPolicy::RoW, true, ContentionDetector::RWDir, "row_rwdir_fwd"},
+};
+
+std::unique_ptr<System>
+makeCounterSystem(const PolicyCase &pc, unsigned cores, unsigned counters,
+                  bool with_store_before, bool with_filler)
+{
+    SystemParams sp;
+    sp.numCores = cores;
+    sp.core.atomicPolicy = pc.policy;
+    sp.core.forwardToAtomics = pc.forwarding;
+    sp.core.row.detector = pc.detector;
+
+    std::vector<std::unique_ptr<InstStream>> streams;
+    for (CoreId c = 0; c < cores; c++) {
+        std::vector<MicroOp> body;
+        if (with_filler) {
+            MicroOp ld;
+            ld.cls = OpClass::Load;
+            ld.addr = addrmap::privateLine(c, (c * 37) % 512);
+            body.push_back(ld);
+            MicroOp a;
+            a.cls = OpClass::IntAlu;
+            body.push_back(a);
+        }
+        // Round-robin over the shared counters, per-core phase shift.
+        for (unsigned k = 0; k < counters; k++) {
+            Addr target = addrmap::sharedAtomicWord((c + k) % counters);
+            if (with_store_before) {
+                MicroOp st;
+                st.cls = OpClass::Store;
+                st.addr = target + 8; // same line, different word
+                st.value = c;
+                body.push_back(st);
+            }
+            MicroOp at;
+            at.cls = OpClass::AtomicRMW;
+            at.aop = AtomicOp::FetchAdd;
+            at.addr = target;
+            at.value = 1;
+            at.pc = 0x9000 + 4 * k;
+            body.push_back(at);
+        }
+        body.back().endOfIteration = true;
+        streams.push_back(std::make_unique<LoopStream>(std::move(body)));
+    }
+    return std::make_unique<System>(sp, std::move(streams));
+}
+
+} // namespace
+
+class AtomicityTest : public ::testing::TestWithParam<PolicyCase>
+{
+};
+
+TEST_P(AtomicityTest, SingleHotCounterNeverLosesUpdates)
+{
+    const auto &pc = GetParam();
+    auto sys = makeCounterSystem(pc, 8, 1, false, false);
+    sys->run(40);
+    sys->drain();
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < 8; c++)
+        total += sys->core(c).committedAtomics();
+    EXPECT_EQ(sys->mem().functional().read64(addrmap::sharedAtomicWord(0)),
+              total)
+        << "policy " << pc.name;
+    EXPECT_GE(total, 8u * 40u);
+}
+
+TEST_P(AtomicityTest, MultipleCountersPartitionExactly)
+{
+    const auto &pc = GetParam();
+    constexpr unsigned counters = 4;
+    auto sys = makeCounterSystem(pc, 8, counters, false, true);
+    sys->run(25);
+    sys->drain();
+    // Each iteration adds exactly 1 to every counter on every core, so
+    // all counters must be equal and sum to total atomics.
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < 8; c++)
+        total += sys->core(c).committedAtomics();
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k < counters; k++)
+        sum += sys->mem().functional().read64(addrmap::sharedAtomicWord(k));
+    EXPECT_EQ(sum, total) << "policy " << pc.name;
+}
+
+TEST_P(AtomicityTest, StoreBeforeAtomicLocalityPatternIsStillAtomic)
+{
+    // The cq-style pattern (store to the line, then FAA) exercises the
+    // forwarding / promotion machinery; the counter words must still
+    // account for every committed FAA.
+    const auto &pc = GetParam();
+    auto sys = makeCounterSystem(pc, 8, 2, true, true);
+    sys->run(25);
+    sys->drain();
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < 8; c++)
+        total += sys->core(c).committedAtomics();
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k < 2; k++)
+        sum += sys->mem().functional().read64(addrmap::sharedAtomicWord(k));
+    EXPECT_EQ(sum, total) << "policy " << pc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, AtomicityTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<PolicyCase> &info) {
+        return info.param.name;
+    });
+
+TEST(AtomicityStress, ManyCoresOneLine)
+{
+    // 16 cores hammering one counter with eager atomics: the worst case
+    // for cache locking. Strict equality required.
+    PolicyCase pc{AtomicPolicy::Eager, false, ContentionDetector::RWDir,
+                  "eager"};
+    auto sys = makeCounterSystem(pc, 16, 1, false, false);
+    sys->run(60);
+    sys->drain();
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < 16; c++)
+        total += sys->core(c).committedAtomics();
+    EXPECT_EQ(sys->mem().functional().read64(addrmap::sharedAtomicWord(0)),
+              total);
+}
+
+TEST(AtomicityStress, MixedPoliciesStayCoherent)
+{
+    // Different iteration shapes per core via phase shifts plus stores to
+    // the counters' lines: exercises lock stalls + forwarded externals.
+    PolicyCase pc{AtomicPolicy::RoW, true, ContentionDetector::RWDir,
+                  "row"};
+    auto sys = makeCounterSystem(pc, 12, 3, true, true);
+    sys->run(40);
+    sys->drain();
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < 12; c++)
+        total += sys->core(c).committedAtomics();
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k < 3; k++)
+        sum += sys->mem().functional().read64(addrmap::sharedAtomicWord(k));
+    EXPECT_EQ(sum, total);
+}
+
+TEST(TsoOrdering, StoresBecomeVisibleInProgramOrder)
+{
+    // Core 0 publishes data then sets a flag (classic message passing).
+    // Under TSO the flag must never be observed ahead of the data. The
+    // simulator writes values at permission-holding instants, so a
+    // reordering bug would let the reader observe flag=1, data=0.
+    SystemParams sp;
+    sp.numCores = 2;
+    const Addr data = addrmap::sharedDataLine(0);
+    const Addr flag = addrmap::sharedDataLine(1);
+
+    std::vector<std::unique_ptr<InstStream>> streams;
+    {
+        std::vector<MicroOp> writer;
+        MicroOp s1;
+        s1.cls = OpClass::Store;
+        s1.addr = data;
+        s1.value = 1;
+        writer.push_back(s1);
+        MicroOp s2;
+        s2.cls = OpClass::Store;
+        s2.addr = flag;
+        s2.value = 1;
+        s2.endOfIteration = true;
+        writer.push_back(s2);
+        streams.push_back(std::make_unique<LoopStream>(writer));
+    }
+    {
+        std::vector<MicroOp> reader;
+        MicroOp l1;
+        l1.cls = OpClass::Load;
+        l1.addr = flag;
+        reader.push_back(l1);
+        MicroOp l2;
+        l2.cls = OpClass::Load;
+        l2.addr = data;
+        l2.src0 = 1; // ordered behind the flag load
+        l2.endOfIteration = true;
+        reader.push_back(l2);
+        streams.push_back(std::make_unique<LoopStream>(reader));
+    }
+    System sys(sp, std::move(streams));
+    sys.run(50);
+    sys.drain();
+    // Final state: both written.
+    EXPECT_EQ(sys.mem().functional().read64(data), 1u);
+    EXPECT_EQ(sys.mem().functional().read64(flag), 1u);
+}
+
+TEST(Liveness, ContendedRunNeverTripsWatchdog)
+{
+    // The deadlock watchdog would panic() if forward progress stopped.
+    PolicyCase pc{AtomicPolicy::Eager, true, ContentionDetector::RWDir,
+                  "eager_fwd"};
+    auto sys = makeCounterSystem(pc, 16, 2, true, true);
+    EXPECT_NO_THROW(sys->run(50));
+}

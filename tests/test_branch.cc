@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the tournament branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "cpu/branch.hh"
+
+using namespace rowsim;
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    int correct = 0;
+    for (int i = 0; i < 100; i++)
+        correct += bp.update(0x400, true);
+    EXPECT_GT(correct, 95);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    // Counters initialise weakly-not-taken, so this should be near
+    // perfect from the start.
+    int correct = 0;
+    for (int i = 0; i < 100; i++)
+        correct += bp.update(0x400, false);
+    EXPECT_EQ(correct, 100);
+}
+
+TEST(BranchPredictor, GshareLearnsAlternatingPattern)
+{
+    BranchPredictor bp;
+    int correct_late = 0;
+    for (int i = 0; i < 400; i++) {
+        bool taken = (i % 2) == 0;
+        bool ok = bp.update(0x800, taken);
+        if (i >= 200)
+            correct_late += ok;
+    }
+    // A bimodal-only predictor would sit near 50%; gshare with history
+    // should nail the alternation once warmed up.
+    EXPECT_GT(correct_late, 180);
+}
+
+TEST(BranchPredictor, LearnsShortPeriodicPattern)
+{
+    BranchPredictor bp;
+    const bool pattern[] = {true, true, false, true};
+    int correct_late = 0;
+    for (int i = 0; i < 800; i++) {
+        bool taken = pattern[i % 4];
+        bool ok = bp.update(0xC00, taken);
+        if (i >= 400)
+            correct_late += ok;
+    }
+    EXPECT_GT(correct_late, 360);
+}
+
+TEST(BranchPredictor, RandomBranchesNearFiftyPercent)
+{
+    BranchPredictor bp;
+    Rng rng(11);
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; i++)
+        correct += bp.update(0x1000, rng.chance(0.5));
+    EXPECT_GT(correct, n / 2 - n / 8);
+    EXPECT_LT(correct, n / 2 + n / 8);
+}
+
+TEST(BranchPredictor, IndependentPcsDoNotDestroyEachOther)
+{
+    BranchPredictor bp;
+    // Train two PCs with opposite biases; both should be predictable.
+    int correct = 0;
+    for (int i = 0; i < 400; i++) {
+        correct += bp.update(0x4000, true);
+        correct += bp.update(0x8000, false);
+    }
+    EXPECT_GT(correct, 700);
+}
+
+TEST(BranchPredictor, MispredictStatsRecorded)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 10; i++)
+        bp.update(0x400, true);
+    EXPECT_EQ(bp.stats().counterValue("lookups"), 10u);
+    EXPECT_GT(bp.stats().counterValue("lookups"),
+              bp.stats().counterValue("mispredicts"));
+}
+
+TEST(BranchPredictor, PredictIsSideEffectFree)
+{
+    BranchPredictor bp;
+    bool first = bp.predict(0x400);
+    for (int i = 0; i < 50; i++)
+        EXPECT_EQ(bp.predict(0x400), first);
+}

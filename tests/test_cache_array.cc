@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+using namespace rowsim;
+
+namespace
+{
+Addr
+lineAt(unsigned set, unsigned tag_mult, unsigned sets)
+{
+    return (static_cast<Addr>(tag_mult) * sets + set) * lineBytes;
+}
+} // namespace
+
+TEST(CacheArray, MissOnEmpty)
+{
+    CacheArray c(16, 4);
+    EXPECT_EQ(c.lookup(0x1000, 1), nullptr);
+    EXPECT_EQ(c.peek(0x1000), nullptr);
+}
+
+TEST(CacheArray, FillThenHit)
+{
+    CacheArray c(16, 4);
+    auto *way = c.victim(0x1000, nullptr, 1);
+    ASSERT_NE(way, nullptr);
+    c.fill(way, 0x1000, CacheState::Shared, 1);
+    auto *hit = c.lookup(0x1003, 2); // same line, different offset
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->tag, lineAlign(0x1000));
+    EXPECT_EQ(hit->state, CacheState::Shared);
+}
+
+TEST(CacheArray, VictimPrefersInvalidWays)
+{
+    CacheArray c(4, 2);
+    auto *w0 = c.victim(lineAt(0, 0, 4), nullptr, 1);
+    c.fill(w0, lineAt(0, 0, 4), CacheState::Modified, 1);
+    auto *w1 = c.victim(lineAt(0, 1, 4), nullptr, 2);
+    EXPECT_FALSE(w1->valid()); // second way still free
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray c(4, 2);
+    c.fill(c.victim(lineAt(0, 0, 4), nullptr, 1), lineAt(0, 0, 4),
+           CacheState::Shared, 1);
+    c.fill(c.victim(lineAt(0, 1, 4), nullptr, 2), lineAt(0, 1, 4),
+           CacheState::Shared, 2);
+    // Touch line 0 so line 1 becomes LRU.
+    c.lookup(lineAt(0, 0, 4), 3);
+    auto *victim = c.victim(lineAt(0, 2, 4), nullptr, 4);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->tag, lineAt(0, 1, 4));
+}
+
+TEST(CacheArray, PinnedLinesNeverVictims)
+{
+    CacheArray c(4, 2);
+    Addr pinned_line = lineAt(0, 0, 4);
+    c.fill(c.victim(pinned_line, nullptr, 1), pinned_line,
+           CacheState::Modified, 1);
+    c.fill(c.victim(lineAt(0, 1, 4), nullptr, 2), lineAt(0, 1, 4),
+           CacheState::Shared, 2);
+    // Make the pinned line LRU.
+    c.lookup(lineAt(0, 1, 4), 3);
+    auto pinned = [pinned_line](Addr t) { return t == pinned_line; };
+    auto *victim = c.victim(lineAt(0, 2, 4), pinned, 4);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_NE(victim->tag, pinned_line);
+}
+
+TEST(CacheArray, AllWaysPinnedReturnsNull)
+{
+    CacheArray c(4, 2);
+    c.fill(c.victim(lineAt(1, 0, 4), nullptr, 1), lineAt(1, 0, 4),
+           CacheState::Modified, 1);
+    c.fill(c.victim(lineAt(1, 1, 4), nullptr, 2), lineAt(1, 1, 4),
+           CacheState::Modified, 2);
+    auto pinned = [](Addr) { return true; };
+    EXPECT_EQ(c.victim(lineAt(1, 2, 4), pinned, 3), nullptr);
+}
+
+TEST(CacheArray, InvalidateRemovesLine)
+{
+    CacheArray c(16, 4);
+    c.fill(c.victim(0x2000, nullptr, 1), 0x2000, CacheState::Modified, 1);
+    EXPECT_TRUE(c.invalidate(0x2000));
+    EXPECT_EQ(c.peek(0x2000), nullptr);
+    EXPECT_FALSE(c.invalidate(0x2000)); // already gone
+}
+
+TEST(CacheArray, SetIndexUsesLineNumber)
+{
+    CacheArray c(16, 4);
+    EXPECT_EQ(c.setIndex(0), 0u);
+    EXPECT_EQ(c.setIndex(lineBytes), 1u);
+    EXPECT_EQ(c.setIndex(16 * lineBytes), 0u); // wraps at numSets
+    EXPECT_EQ(c.setIndex(17 * lineBytes + 5), 1u);
+}
+
+TEST(CacheArray, DifferentSetsDoNotConflict)
+{
+    CacheArray c(4, 1); // direct-mapped, 4 sets
+    for (unsigned s = 0; s < 4; s++) {
+        Addr a = lineAt(s, 0, 4);
+        c.fill(c.victim(a, nullptr, s), a, CacheState::Shared, s);
+    }
+    for (unsigned s = 0; s < 4; s++)
+        EXPECT_NE(c.peek(lineAt(s, 0, 4)), nullptr);
+}
+
+TEST(CacheArray, RejectsNonPowerOfTwoSets)
+{
+    EXPECT_THROW(CacheArray(3, 2), std::logic_error);
+    EXPECT_THROW(CacheArray(4, 0), std::logic_error);
+}
+
+TEST(CacheArray, PeekDoesNotPerturbLru)
+{
+    CacheArray c(4, 2);
+    c.fill(c.victim(lineAt(0, 0, 4), nullptr, 1), lineAt(0, 0, 4),
+           CacheState::Shared, 1);
+    c.fill(c.victim(lineAt(0, 1, 4), nullptr, 2), lineAt(0, 1, 4),
+           CacheState::Shared, 2);
+    // Peek at line 0 (older); LRU order must be unchanged, so line 0 is
+    // still the victim.
+    c.peek(lineAt(0, 0, 4));
+    auto *victim = c.victim(lineAt(0, 2, 4), nullptr, 3);
+    EXPECT_EQ(victim->tag, lineAt(0, 0, 4));
+}

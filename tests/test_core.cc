@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Pipeline tests for the out-of-order core: dependency scheduling,
+ * store-to-load forwarding, StoreSet replay, branch redirect bubbles,
+ * fences, and the basic atomic execution paths — driven through small
+ * single-core (or two-core) Systems with hand-written loop bodies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/system.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+MicroOp
+alu(unsigned lat = 1, std::uint32_t src0 = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.execLatency = static_cast<std::uint16_t>(lat);
+    op.src0 = src0;
+    return op;
+}
+
+MicroOp
+load(Addr a, std::uint32_t src0 = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    op.addr = a;
+    op.src0 = src0;
+    return op;
+}
+
+MicroOp
+store(Addr a, std::uint64_t v)
+{
+    MicroOp op;
+    op.cls = OpClass::Store;
+    op.addr = a;
+    op.value = v;
+    return op;
+}
+
+MicroOp
+atomicFaa(Addr a, std::uint64_t v = 1, Addr pc = 0x9000)
+{
+    MicroOp op;
+    op.cls = OpClass::AtomicRMW;
+    op.aop = AtomicOp::FetchAdd;
+    op.addr = a;
+    op.value = v;
+    op.pc = pc;
+    return op;
+}
+
+MicroOp
+branch(bool taken)
+{
+    MicroOp op;
+    op.cls = OpClass::Branch;
+    op.takenBranch = taken;
+    op.pc = 0x7000;
+    return op;
+}
+
+MicroOp
+fence()
+{
+    MicroOp op;
+    op.cls = OpClass::Fence;
+    return op;
+}
+
+/** Build a single-core system around one loop body. */
+std::unique_ptr<System>
+makeSystem(std::vector<MicroOp> body, AtomicPolicy policy,
+           unsigned cores = 1)
+{
+    body.back().endOfIteration = true;
+    SystemParams sp;
+    sp.numCores = cores;
+    sp.core.atomicPolicy = policy;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    for (unsigned c = 0; c < cores; c++)
+        streams.push_back(std::make_unique<LoopStream>(body));
+    return std::make_unique<System>(sp, std::move(streams));
+}
+
+} // namespace
+
+TEST(CorePipeline, IndependentAluOpsReachWideIpc)
+{
+    std::vector<MicroOp> body(48, alu());
+    auto sys = makeSystem(body, AtomicPolicy::Eager);
+    Cycle c = sys->run(200);
+    double ipc = 200.0 * 48 / static_cast<double>(c);
+    EXPECT_GT(ipc, 5.0); // fetch width (6) bound
+}
+
+TEST(CorePipeline, DependentChainBoundByLatency)
+{
+    // One chain of 2-cycle ALU ops linked ACROSS iterations: the whole
+    // run is a single serial dependence chain of length 100 * 32.
+    std::vector<MicroOp> body;
+    for (int i = 0; i < 32; i++)
+        body.push_back(alu(2, 1));
+    auto sys = makeSystem(body, AtomicPolicy::Eager);
+    Cycle c = sys->run(100);
+    EXPECT_GE(c, 100 * 32 * 2u);
+    EXPECT_LT(c, 100 * 32 * 3u); // ...but not much more
+}
+
+TEST(CorePipeline, StoreToLoadForwardingBeatsCacheAccess)
+{
+    // store x -> load x (same word): value forwards from the SQ.
+    auto sys = makeSystem({store(0x5000, 77), load(0x5000, 0), alu()},
+                          AtomicPolicy::Eager);
+    sys->run(50);
+    EXPECT_GT(sys->core(0).stats().counterValue("loadsForwarded"), 10u);
+}
+
+TEST(CorePipeline, ForwardedValueIsTheStoredValue)
+{
+    auto sys = makeSystem({store(0x5000, 77), load(0x5000)},
+                          AtomicPolicy::Eager);
+    sys->run(20);
+    sys->drain();
+    EXPECT_EQ(sys->mem().functional().read64(0x5000), 77u);
+}
+
+TEST(CorePipeline, RandomBranchesInsertRedirectBubbles)
+{
+    // Alternating branches train quickly; per-iteration cost small.
+    std::vector<MicroOp> body_predictable;
+    for (int i = 0; i < 8; i++)
+        body_predictable.push_back(branch(true));
+    auto sys1 = makeSystem(body_predictable, AtomicPolicy::Eager);
+    Cycle predictable = sys1->run(300);
+
+    // The same volume of hard-to-predict branches must cost much more
+    // (a mispredict stalls dispatch for ~mispredictPenalty).
+    std::vector<MicroOp> body_random;
+    for (int i = 0; i < 8; i++) {
+        MicroOp b = branch(false);
+        // Pseudo-random per-position pattern the gshare cannot fully learn
+        // is hard to fake with a fixed loop; use distinct PCs with
+        // conflicting biases through one iteration instead.
+        b.takenBranch = (i * 7 + 3) % 3 == 0;
+        b.pc = 0x7000; // all alias to one PC with changing outcomes
+        body_random.push_back(b);
+    }
+    auto sys2 = makeSystem(body_random, AtomicPolicy::Eager);
+    Cycle random = sys2->run(300);
+    EXPECT_GT(random, predictable);
+    EXPECT_GT(sys2->core(0).stats().counterValue("branchMispredicts"), 0u);
+}
+
+TEST(CorePipeline, FenceOrdersAndSlowsMemoryTraffic)
+{
+    std::vector<MicroOp> with_fence = {load(0x100000), fence(),
+                                       load(0x200000)};
+    std::vector<MicroOp> no_fence = {load(0x100000), alu(),
+                                     load(0x200000)};
+    // Use distinct addresses per iteration? LoopStream repeats the same
+    // lines, so everything is warm after the first pass; the fence cost
+    // is then pure serialisation.
+    auto f = makeSystem(with_fence, AtomicPolicy::Eager);
+    auto n = makeSystem(no_fence, AtomicPolicy::Eager);
+    Cycle cf = f->run(300);
+    Cycle cn = n->run(300);
+    EXPECT_GT(cf, cn + 300); // at least a few cycles per iteration
+}
+
+namespace
+{
+/** Loads and an atomic whose addresses advance every iteration, so
+ *  consecutive atomics never alias and misses stay cold. */
+class ColdStream : public InstStream
+{
+  public:
+    MicroOp
+    next() override
+    {
+        switch (idx++ % 5) {
+          case 0:
+            return load(0x10000000 + (idx / 5) * 0x1000);
+          case 1:
+            return load(0x20000000 + (idx / 5) * 0x1000);
+          case 2:
+            return atomicFaa(0x30000000 + (idx / 5) * 0x1000);
+          case 3:
+            return alu();
+          default: {
+            MicroOp op = alu();
+            op.endOfIteration = true;
+            return op;
+          }
+        }
+    }
+
+  private:
+    std::uint64_t idx = 0;
+};
+} // namespace
+
+TEST(CorePipeline, EagerAtomicIssuesBeforeBecomingOldest)
+{
+    // Cold loads ahead of the atomic: eager must issue while they run.
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.core.atomicPolicy = AtomicPolicy::Eager;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    streams.push_back(std::make_unique<ColdStream>());
+    System sys(sp, std::move(streams));
+    sys.run(100);
+    EXPECT_GT(sys.meanAverage("olderUnexecutedAtIssue"), 0.5);
+}
+
+TEST(CorePipeline, LazyAtomicWaitsForOldestAndSbDrain)
+{
+    std::vector<MicroOp> body = {load(0x100000), store(0x200000, 1),
+                                 atomicFaa(0x300000), alu()};
+    auto eager = makeSystem(body, AtomicPolicy::Eager);
+    auto lazy = makeSystem(body, AtomicPolicy::Lazy);
+    eager->run(100);
+    lazy->run(100);
+    // Lazy waits much longer between dispatch and issue.
+    EXPECT_GT(lazy->meanAverage("atomicDispatchToIssue"),
+              eager->meanAverage("atomicDispatchToIssue") + 10);
+    // ...but holds the lock for far less time.
+    EXPECT_LT(lazy->meanAverage("atomicLockToUnlock"),
+              eager->meanAverage("atomicLockToUnlock"));
+}
+
+TEST(CorePipeline, AtomicResultFeedsDependents)
+{
+    // FAA result is consumed by a dependent ALU chain; the run must make
+    // progress and the counter must accumulate.
+    MicroOp at = atomicFaa(0x300000);
+    std::vector<MicroOp> body = {at, alu(1, 1), alu(1, 1)};
+    auto sys = makeSystem(body, AtomicPolicy::Eager);
+    sys->run(200);
+    sys->drain();
+    EXPECT_EQ(sys->mem().functional().read64(0x300000),
+              sys->core(0).committedAtomics());
+}
+
+TEST(CorePipeline, AtomicAfterSameWordStoreWaitsWithoutForwarding)
+{
+    std::vector<MicroOp> body = {store(0x300000, 5), atomicFaa(0x300000),
+                                 alu()};
+    auto sys = makeSystem(body, AtomicPolicy::Eager);
+    sys->run(50);
+    sys->drain();
+    // Each iteration: store writes 5, FAA adds 1 -> final value 6.
+    EXPECT_EQ(sys->mem().functional().read64(0x300000), 6u);
+    EXPECT_EQ(sys->totalCounter("atomicsForwarded"), 0u);
+}
+
+TEST(CorePipeline, ForwardingToAtomicsEngagesWhenEnabled)
+{
+    std::vector<MicroOp> body = {store(0x300000, 5), atomicFaa(0x300000),
+                                 alu()};
+    body.back().endOfIteration = true;
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.core.atomicPolicy = AtomicPolicy::Eager;
+    sp.core.forwardToAtomics = true;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    {
+        std::vector<MicroOp> b = body;
+        b.back().endOfIteration = true;
+        streams.push_back(std::make_unique<LoopStream>(b));
+    }
+    System sys(sp, std::move(streams));
+    sys.run(50);
+    sys.drain();
+    EXPECT_GT(sys.totalCounter("atomicsForwarded"), 40u);
+    EXPECT_EQ(sys.mem().functional().read64(0x300000), 6u);
+}
+
+TEST(CorePipeline, SwapAndCasSemantics)
+{
+    MicroOp sw;
+    sw.cls = OpClass::AtomicRMW;
+    sw.aop = AtomicOp::Swap;
+    sw.addr = 0x300000;
+    sw.value = 123;
+    auto sys = makeSystem({sw, alu()}, AtomicPolicy::Eager);
+    sys->run(10);
+    sys->drain();
+    EXPECT_EQ(sys->mem().functional().read64(0x300000), 123u);
+
+    MicroOp cas;
+    cas.cls = OpClass::AtomicRMW;
+    cas.aop = AtomicOp::CompareSwap;
+    cas.addr = 0x400000;
+    cas.value = 55;
+    auto sys2 = makeSystem({cas, alu()}, AtomicPolicy::Eager);
+    sys2->run(10);
+    sys2->drain();
+    EXPECT_EQ(sys2->mem().functional().read64(0x400000), 55u);
+
+    // A CAS with an injected expectation mismatch writes nothing.
+    cas.casExpectMismatch = true;
+    cas.addr = 0x500000;
+    auto sys3 = makeSystem({cas, alu()}, AtomicPolicy::Eager);
+    sys3->run(10);
+    sys3->drain();
+    EXPECT_EQ(sys3->mem().functional().read64(0x500000), 0u);
+}
+
+TEST(CorePipeline, FencedPolicySlowerThanEagerOnIndependentAtomics)
+{
+    std::vector<MicroOp> body = {load(0x100000), atomicFaa(0x300000),
+                                 load(0x200000), alu()};
+    auto eager = makeSystem(body, AtomicPolicy::Eager);
+    auto fenced = makeSystem(body, AtomicPolicy::Fenced);
+    Cycle ce = eager->run(200);
+    Cycle cf = fenced->run(200);
+    EXPECT_GT(cf, ce);
+}
+
+TEST(CorePipeline, DrainEmptiesEverything)
+{
+    std::vector<MicroOp> body = {load(0x100000), store(0x200000, 1),
+                                 atomicFaa(0x300000), alu()};
+    auto sys = makeSystem(body, AtomicPolicy::Eager);
+    sys->run(20);
+    sys->drain();
+    EXPECT_TRUE(sys->core(0).drained());
+    EXPECT_TRUE(sys->mem().idle());
+}
+
+TEST(CorePipeline, CommittedInstructionCountsMatchBody)
+{
+    std::vector<MicroOp> body = {alu(), alu(), load(0x100000), alu()};
+    auto sys = makeSystem(body, AtomicPolicy::Eager);
+    sys->run(100);
+    sys->drain();
+    // Each iteration is 4 instructions; at least the quota committed.
+    EXPECT_GE(sys->core(0).committedInstructions(), 400u);
+    EXPECT_GE(sys->core(0).committedIterations(), 100u);
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Targeted tests for the core's less-travelled paths: memory-dependence
+ * violations and load replay, in-order lock acquisition (WaitLock) and
+ * its refetch, the lock-steal replay of a pre-commit atomic, MSHR
+ * backpressure, and the stats dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+MicroOp
+mkop(OpClass cls, Addr addr = invalidAddr, std::uint64_t value = 0,
+     std::uint32_t src0 = 0)
+{
+    MicroOp op;
+    op.cls = cls;
+    op.addr = addr;
+    op.value = value;
+    op.src0 = src0;
+    if (cls == OpClass::AtomicRMW) {
+        op.aop = AtomicOp::FetchAdd;
+        op.value = value ? value : 1;
+        op.pc = 0x9000;
+    }
+    return op;
+}
+
+std::unique_ptr<System>
+single(std::vector<MicroOp> body, AtomicPolicy policy = AtomicPolicy::Eager)
+{
+    body.back().endOfIteration = true;
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.core.atomicPolicy = policy;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    streams.push_back(std::make_unique<LoopStream>(std::move(body)));
+    return std::make_unique<System>(sp, std::move(streams));
+}
+
+} // namespace
+
+TEST(CorePaths, StoreSetLearnsFromViolations)
+{
+    // A slow ALU chain delays the store's address resolution; the
+    // dependent-by-address load speculates past it, gets replayed, and
+    // the StoreSet learns to make it wait.
+    std::vector<MicroOp> body;
+    MicroOp slow = mkop(OpClass::IntAlu);
+    slow.execLatency = 24;
+    body.push_back(slow);                                // 0
+    MicroOp st = mkop(OpClass::Store, 0x8000, 42);
+    st.src0 = 1; // store waits for the slow op
+    st.pc = 0x7100;
+    body.push_back(st);                                  // 1
+    MicroOp ld = mkop(OpClass::Load, 0x8000);
+    ld.pc = 0x7200;
+    body.push_back(ld);                                  // 2
+    body.push_back(mkop(OpClass::IntAlu));               // 3
+
+    auto sys = single(body);
+    sys->run(60);
+    EXPECT_GT(sys->core(0).stats().counterValue("loadReplays"), 0u);
+    EXPECT_GT(sys->core(0).storeSets().stats().counterValue("violations"),
+              0u);
+    // After training, replays stop: the warmup burst (in-flight loads
+    // dispatched before the first violation trained the SSIT) is bounded
+    // regardless of run length.
+    EXPECT_LT(sys->core(0).stats().counterValue("loadReplays"), 300u);
+    EXPECT_GT(sys->core(0).stats().counterValue("loadsPredictedDependent"),
+              sys->core(0).stats().counterValue("loadReplays"));
+    sys->drain();
+    EXPECT_EQ(sys->mem().functional().read64(0x8000), 42u);
+}
+
+TEST(CorePaths, InOrderLockAcquisition)
+{
+    // Two atomics per iteration: a slow (cold) one then a fast (hot)
+    // one. The fast atomic's fill often arrives first and must wait its
+    // turn (WaitLock) instead of locking out of order.
+    class TwoAtomics : public InstStream
+    {
+      public:
+        MicroOp
+        next() override
+        {
+            switch (idx++ % 3) {
+              case 0:
+                return mkop(OpClass::AtomicRMW,
+                            0x40000000 + (idx / 3) * 0x1000); // cold
+              case 1:
+                return mkop(OpClass::AtomicRMW, 0x1000); // hot
+              default: {
+                MicroOp op = mkop(OpClass::IntAlu);
+                op.endOfIteration = true;
+                return op;
+              }
+            }
+        }
+
+      private:
+        std::uint64_t idx = 0;
+    };
+
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.core.atomicPolicy = AtomicPolicy::Eager;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    streams.push_back(std::make_unique<TwoAtomics>());
+    System sys(sp, std::move(streams));
+    sys.run(50);
+    EXPECT_GT(sys.core(0).stats().counterValue("lockWaits"), 0u);
+    sys.drain();
+    // The hot counter accumulated one increment per iteration.
+    EXPECT_EQ(sys.mem().functional().read64(0x1000),
+              sys.core(0).committedAtomics() / 2);
+}
+
+TEST(CorePaths, LockStealReplaysPreCommitAtomic)
+{
+    // Core 0: a long serial ALU chain precedes each FAA on a hot word,
+    // so the eagerly-acquired lock is held pre-commit while the chain
+    // drains. Core 1 hammers the same line with stores. With a small
+    // steal threshold, a stalled forward steals the lock, the atomic
+    // replays — and the count stays exact.
+    SystemParams sp;
+    sp.numCores = 2;
+    sp.core.atomicPolicy = AtomicPolicy::Eager;
+    sp.mem.lockStealThreshold = 25;
+
+    std::vector<std::unique_ptr<InstStream>> streams;
+    {
+        std::vector<MicroOp> body;
+        for (int i = 0; i < 60; i++) {
+            MicroOp op = mkop(OpClass::IntAlu);
+            op.execLatency = 5;
+            op.src0 = i == 0 ? 0 : 1; // serial chain
+            body.push_back(op);
+        }
+        body.push_back(mkop(OpClass::AtomicRMW, 0x2000));
+        body.push_back(mkop(OpClass::IntAlu));
+        body.back().endOfIteration = true;
+        streams.push_back(std::make_unique<LoopStream>(std::move(body)));
+    }
+    {
+        std::vector<MicroOp> body = {mkop(OpClass::Store, 0x2008, 7),
+                                     mkop(OpClass::IntAlu)};
+        body.back().endOfIteration = true;
+        streams.push_back(std::make_unique<LoopStream>(std::move(body)));
+    }
+    System sys(sp, std::move(streams));
+    sys.run(20);
+    sys.drain();
+    EXPECT_GT(sys.totalCounter("forcedUnlocks"), 0u);
+    EXPECT_EQ(sys.mem().functional().read64(0x2000),
+              sys.core(0).committedAtomics());
+}
+
+TEST(CorePaths, MshrBackpressureDoesNotLoseAccesses)
+{
+    // Far more independent cold loads per iteration than MSHRs: the
+    // overflow queues inside the cache and everything still completes.
+    class Flood : public InstStream
+    {
+      public:
+        MicroOp
+        next() override
+        {
+            MicroOp op = mkop(OpClass::Load,
+                              0x60000000 + idx * lineBytes);
+            idx++;
+            op.endOfIteration = idx % 64 == 0;
+            return op;
+        }
+
+      private:
+        std::uint64_t idx = 0;
+    };
+
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.mem.mshrs = 8;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    streams.push_back(std::make_unique<Flood>());
+    System sys(sp, std::move(streams));
+    sys.run(20);
+    sys.drain();
+    EXPECT_GT(sys.mem().cache(0).stats().counterValue("mshrFull"), 0u);
+    EXPECT_GE(sys.core(0).committedInstructions(), 20u * 64u);
+}
+
+TEST(CorePaths, FencedAtomicBlocksYoungerMemoryIssue)
+{
+    // Under the Fenced policy a younger load may not issue until the
+    // atomic unlocks; with Eager it runs ahead. Compare the younger-
+    // started statistic.
+    std::vector<MicroOp> body = {mkop(OpClass::Load, 0x70000000),
+                                 mkop(OpClass::AtomicRMW, 0x3000),
+                                 mkop(OpClass::Load, 0x71000000),
+                                 mkop(OpClass::IntAlu)};
+    auto fenced = single(body, AtomicPolicy::Fenced);
+    auto eager = single(body, AtomicPolicy::Eager);
+    Cycle cf = fenced->run(60);
+    Cycle ce = eager->run(60);
+    EXPECT_GT(cf, ce); // serialisation must cost cycles
+}
+
+TEST(CorePaths, DumpStatsEmitsEveryGroup)
+{
+    auto sys = single({mkop(OpClass::Load, 0x1000),
+                       mkop(OpClass::AtomicRMW, 0x2000),
+                       mkop(OpClass::IntAlu)});
+    sys->run(10);
+
+    std::FILE *f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    sys->dumpStats(f);
+    std::fflush(f);
+    long size = std::ftell(f);
+    std::rewind(f);
+    std::string content(static_cast<std::size_t>(size), '\0');
+    ASSERT_EQ(std::fread(content.data(), 1, content.size(), f),
+              content.size());
+    std::fclose(f);
+
+    EXPECT_NE(content.find("sim.cycles"), std::string::npos);
+    EXPECT_NE(content.find("core0.atomicsUnlocked"), std::string::npos);
+    EXPECT_NE(content.find("l1d0.accesses"), std::string::npos);
+    EXPECT_NE(content.find("network.messages"), std::string::npos);
+}
+
+TEST(CorePaths, PrefetcherOffStillCorrect)
+{
+    SystemParams sp;
+    sp.numCores = 1;
+    sp.mem.prefetcher = false;
+    std::vector<MicroOp> body = {mkop(OpClass::Load, 0x1000),
+                                 mkop(OpClass::AtomicRMW, 0x2000),
+                                 mkop(OpClass::IntAlu)};
+    body.back().endOfIteration = true;
+    std::vector<std::unique_ptr<InstStream>> streams;
+    streams.push_back(std::make_unique<LoopStream>(std::move(body)));
+    System sys(sp, std::move(streams));
+    sys.run(30);
+    sys.drain();
+    EXPECT_EQ(sys.mem().cache(0).stats().counterValue("prefetchRequests"),
+              0u);
+    // In-flight iterations keep committing during drain, so compare
+    // against the committed count, not the quota.
+    EXPECT_EQ(sys.mem().functional().read64(0x2000),
+              sys.core(0).committedAtomics());
+}

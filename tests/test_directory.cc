@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Protocol unit tests for a directory bank: state transitions, the
+ * Blocked window, request queueing, invalidation collection, and the
+ * PutM crossing races.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/directory.hh"
+#include "net/network.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+struct CoreStub : MsgHandler
+{
+    std::vector<Msg> inbox;
+    void
+    deliver(const Msg &msg, Cycle) override
+    {
+        inbox.push_back(msg);
+    }
+    bool
+    got(MsgType t) const
+    {
+        for (const auto &m : inbox)
+            if (m.type == t)
+                return true;
+        return false;
+    }
+    const Msg *
+    last(MsgType t) const
+    {
+        for (auto it = inbox.rbegin(); it != inbox.rend(); ++it)
+            if (it->type == t)
+                return &*it;
+        return nullptr;
+    }
+};
+
+} // namespace
+
+class DirectoryTest : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned cores = 4;
+
+    DirectoryTest()
+        : net(cores, NetParams{}), dir(0, cores, MemParams{}, &net)
+    {
+        for (CoreId c = 0; c < cores; c++)
+            net.attach(c, &stubs[c]);
+        net.attach(cores + 0, &dir);
+        // Pick a line homed at bank 0.
+        line = 0;
+        EXPECT_EQ(net.homeBank(line), cores + 0);
+    }
+
+    /** Advance enough cycles for all latencies to elapse. */
+    void
+    settle(Cycle upto = 600)
+    {
+        for (; now <= upto; now++) {
+            net.tick(now);
+            dir.tick(now);
+        }
+    }
+
+    void
+    sendToDir(MsgType t, CoreId c)
+    {
+        Msg m;
+        m.type = t;
+        m.line = line;
+        m.src = c;
+        m.dst = cores + 0;
+        m.requester = c;
+        net.send(m, now);
+    }
+
+    Network net;
+    Directory dir;
+    CoreStub stubs[cores];
+    Addr line;
+    Cycle now = 1;
+};
+
+TEST_F(DirectoryTest, GetSFromInvalidDeliversSharedData)
+{
+    sendToDir(MsgType::GetS, 0);
+    settle();
+    ASSERT_TRUE(stubs[0].got(MsgType::Data));
+    const Msg *d = stubs[0].last(MsgType::Data);
+    EXPECT_FALSE(d->excl);
+    EXPECT_TRUE(d->fromMemory); // cold LLC
+    EXPECT_FALSE(d->fromPrivateCache);
+    // Blocked until the Unblock arrives.
+    EXPECT_EQ(dir.lineState(line), DirState::Blocked);
+    sendToDir(MsgType::Unblock, 0);
+    settle(1200);
+    EXPECT_EQ(dir.lineState(line), DirState::Shared);
+}
+
+TEST_F(DirectoryTest, SecondGetSHitsLlc)
+{
+    sendToDir(MsgType::GetS, 0);
+    settle();
+    sendToDir(MsgType::Unblock, 0);
+    settle(1200);
+    sendToDir(MsgType::GetS, 1);
+    settle(1800);
+    const Msg *d = stubs[1].last(MsgType::Data);
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->fromMemory); // LLC now has it
+}
+
+TEST_F(DirectoryTest, GetXFromInvalidGrantsExclusive)
+{
+    sendToDir(MsgType::GetX, 2);
+    settle();
+    ASSERT_TRUE(stubs[2].got(MsgType::DataExcl));
+    sendToDir(MsgType::Unblock, 2);
+    settle(1200);
+    EXPECT_EQ(dir.lineState(line), DirState::Modified);
+    EXPECT_EQ(dir.lineOwner(line), 2u);
+}
+
+TEST_F(DirectoryTest, GetXOnSharedInvalidatesSharers)
+{
+    // Cores 0 and 1 take shared copies.
+    for (CoreId c : {0u, 1u}) {
+        sendToDir(MsgType::GetS, c);
+        settle(now + 600);
+        sendToDir(MsgType::Unblock, c);
+        settle(now + 600);
+    }
+    // Core 2 wants exclusive: both sharers must be invalidated.
+    sendToDir(MsgType::GetX, 2);
+    settle(now + 600);
+    EXPECT_TRUE(stubs[0].got(MsgType::Inv));
+    EXPECT_TRUE(stubs[1].got(MsgType::Inv));
+    // Data is withheld until both InvAcks arrive.
+    EXPECT_FALSE(stubs[2].got(MsgType::DataExcl));
+    sendToDir(MsgType::InvAck, 0);
+    settle(now + 600);
+    EXPECT_FALSE(stubs[2].got(MsgType::DataExcl));
+    sendToDir(MsgType::InvAck, 1);
+    settle(now + 600);
+    EXPECT_TRUE(stubs[2].got(MsgType::DataExcl));
+}
+
+TEST_F(DirectoryTest, GetXOnModifiedForwardsToOwner)
+{
+    sendToDir(MsgType::GetX, 0);
+    settle(now + 600);
+    sendToDir(MsgType::Unblock, 0);
+    settle(now + 600);
+
+    sendToDir(MsgType::GetX, 1);
+    settle(now + 600);
+    ASSERT_TRUE(stubs[0].got(MsgType::FwdGetX));
+    EXPECT_EQ(stubs[0].last(MsgType::FwdGetX)->requester, 1u);
+    // Ownership transfers at the Unblock.
+    sendToDir(MsgType::Unblock, 1);
+    settle(now + 600);
+    EXPECT_EQ(dir.lineOwner(line), 1u);
+}
+
+TEST_F(DirectoryTest, RequestsQueueBehindBlockedLine)
+{
+    sendToDir(MsgType::GetX, 0);
+    settle(now + 600);
+    // Line is Blocked (no Unblock yet); core 1's request must wait.
+    sendToDir(MsgType::GetX, 1);
+    settle(now + 600);
+    EXPECT_FALSE(stubs[0].got(MsgType::FwdGetX));
+    EXPECT_EQ(dir.stats().counterValue("queuedRequests"), 1u);
+    // Unblock releases the queue: core 0 becomes owner, then gets the
+    // forward for core 1.
+    sendToDir(MsgType::Unblock, 0);
+    settle(now + 600);
+    EXPECT_TRUE(stubs[0].got(MsgType::FwdGetX));
+}
+
+TEST_F(DirectoryTest, PutMFromOwnerWritesBack)
+{
+    sendToDir(MsgType::GetX, 0);
+    settle(now + 600);
+    sendToDir(MsgType::Unblock, 0);
+    settle(now + 600);
+    sendToDir(MsgType::PutM, 0);
+    settle(now + 600);
+    EXPECT_TRUE(stubs[0].got(MsgType::WBAck));
+    EXPECT_EQ(dir.lineState(line), DirState::Invalid);
+    EXPECT_EQ(dir.stats().counterValue("writebacks"), 1u);
+}
+
+TEST_F(DirectoryTest, StalePutMIsAckedWithoutStateChange)
+{
+    // Core 0 owns; core 1's GetX is in flight (Blocked, fwd sent); core
+    // 0's crossing PutM must be acked as stale.
+    sendToDir(MsgType::GetX, 0);
+    settle(now + 600);
+    sendToDir(MsgType::Unblock, 0);
+    settle(now + 600);
+    sendToDir(MsgType::GetX, 1);
+    settle(now + 600);
+    ASSERT_EQ(dir.lineState(line), DirState::Blocked);
+    sendToDir(MsgType::PutM, 0);
+    settle(now + 600);
+    EXPECT_TRUE(stubs[0].got(MsgType::WBAck));
+    EXPECT_EQ(dir.stats().counterValue("staleWritebacks"), 1u);
+    sendToDir(MsgType::Unblock, 1);
+    settle(now + 600);
+    EXPECT_EQ(dir.lineOwner(line), 1u);
+}
+
+TEST_F(DirectoryTest, OracleFiresOnConcurrentInterest)
+{
+    int overlap_calls = 0, holder_calls = 0;
+    dir.setOracleHook([&](Addr, CoreId, CoreId, bool overlap, Cycle) {
+        (overlap ? overlap_calls : holder_calls)++;
+    });
+    sendToDir(MsgType::GetX, 0);
+    settle(now + 600);
+    // Queued request while blocked: definite overlap.
+    sendToDir(MsgType::GetX, 1);
+    settle(now + 600);
+    EXPECT_GT(overlap_calls, 0);
+    sendToDir(MsgType::Unblock, 0);
+    settle(now + 600);
+    // The queued GetX is now processed against M-owner 0: holder hint.
+    EXPECT_GT(holder_calls, 0);
+}
+
+TEST_F(DirectoryTest, IdleReflectsOutstandingTransactions)
+{
+    EXPECT_TRUE(dir.idle());
+    sendToDir(MsgType::GetX, 0);
+    settle(now + 600);
+    EXPECT_FALSE(dir.idle());
+    sendToDir(MsgType::Unblock, 0);
+    settle(now + 600);
+    EXPECT_TRUE(dir.idle());
+}

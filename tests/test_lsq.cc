@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the load queue and the unified store queue / store
+ * buffer, including the forwarding and ordering searches the atomic
+ * machinery depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/lsq.hh"
+
+using namespace rowsim;
+
+TEST(LoadQueue, FifoAllocateFree)
+{
+    LoadQueue lq(4);
+    EXPECT_TRUE(lq.empty());
+    lq.allocate(1, false);
+    lq.allocate(2, false);
+    EXPECT_EQ(lq.size(), 2u);
+    EXPECT_EQ(lq.oldestSeq(), 1u);
+    EXPECT_TRUE(lq.isOldest(1));
+    EXPECT_FALSE(lq.isOldest(2));
+    lq.freeHead(1);
+    EXPECT_TRUE(lq.isOldest(2));
+}
+
+TEST(LoadQueue, FullAndWraparound)
+{
+    LoadQueue lq(2);
+    lq.allocate(1, false);
+    lq.allocate(2, false);
+    EXPECT_TRUE(lq.full());
+    lq.freeHead(1);
+    unsigned idx = lq.allocate(3, true);
+    EXPECT_TRUE(lq.entry(idx).isAtomic);
+    EXPECT_TRUE(lq.full());
+    EXPECT_EQ(lq.oldestSeq(), 2u);
+}
+
+TEST(LoadQueue, OutOfOrderFreePanics)
+{
+    LoadQueue lq(4);
+    lq.allocate(1, false);
+    lq.allocate(2, false);
+    EXPECT_THROW(lq.freeHead(2), std::logic_error);
+}
+
+TEST(StoreQueue, ForwardFindsYoungestOlderMatch)
+{
+    StoreQueue sq(8);
+    auto i1 = sq.allocate(1, false);
+    auto i2 = sq.allocate(2, false);
+    sq.entry(i1).addressReady = true;
+    sq.entry(i1).addr = 0x100;
+    sq.entry(i1).value = 11;
+    sq.entry(i2).addressReady = true;
+    sq.entry(i2).addr = 0x100;
+    sq.entry(i2).value = 22;
+
+    bool unknown = false;
+    SqEntry *src = sq.forwardSource(5, 0x100, unknown);
+    ASSERT_NE(src, nullptr);
+    EXPECT_EQ(src->value, 22u); // youngest older match wins
+    EXPECT_FALSE(unknown);
+}
+
+TEST(StoreQueue, ForwardIgnoresYoungerStores)
+{
+    StoreQueue sq(8);
+    auto i1 = sq.allocate(10, false);
+    sq.entry(i1).addressReady = true;
+    sq.entry(i1).addr = 0x100;
+    bool unknown = false;
+    EXPECT_EQ(sq.forwardSource(5, 0x100, unknown), nullptr);
+}
+
+TEST(StoreQueue, UnresolvedOlderStoreFlagsUnknown)
+{
+    StoreQueue sq(8);
+    sq.allocate(1, false); // address not ready
+    bool unknown = false;
+    EXPECT_EQ(sq.forwardSource(5, 0x100, unknown), nullptr);
+    EXPECT_TRUE(unknown);
+}
+
+TEST(StoreQueue, WordGranularMatching)
+{
+    StoreQueue sq(8);
+    auto i1 = sq.allocate(1, false);
+    sq.entry(i1).addressReady = true;
+    sq.entry(i1).addr = 0x100;
+    bool unknown = false;
+    // Same line, different word: no forwarding match.
+    EXPECT_EQ(sq.forwardSource(5, 0x108, unknown), nullptr);
+    // Same word, different byte offset: match.
+    EXPECT_NE(sq.forwardSource(5, 0x104, unknown), nullptr);
+}
+
+TEST(StoreQueue, OlderSameLineSkipsAtomicsAndWritten)
+{
+    StoreQueue sq(8);
+    auto stu = sq.allocate(1, true); // an atomic STU
+    sq.entry(stu).addressReady = true;
+    sq.entry(stu).addr = 0x100;
+    auto reg = sq.allocate(2, false);
+    sq.entry(reg).addressReady = true;
+    sq.entry(reg).addr = 0x108; // same line as 0x100
+    EXPECT_EQ(sq.olderSameLineUnwritten(5, 0x100), &sq.entry(reg));
+    sq.entry(reg).written = true;
+    EXPECT_EQ(sq.olderSameLineUnwritten(5, 0x100), nullptr);
+}
+
+TEST(StoreQueue, SbEmptyTracksCommittedUnwritten)
+{
+    StoreQueue sq(8);
+    auto i1 = sq.allocate(1, false);
+    EXPECT_TRUE(sq.sbEmpty()); // uncommitted entries are not in the SB
+    sq.entry(i1).committed = true;
+    EXPECT_FALSE(sq.sbEmpty());
+    sq.entry(i1).written = true;
+    EXPECT_TRUE(sq.sbEmpty());
+}
+
+TEST(StoreQueue, NoneOlderThan)
+{
+    StoreQueue sq(8);
+    EXPECT_TRUE(sq.noneOlderThan(5));
+    sq.allocate(3, false);
+    EXPECT_FALSE(sq.noneOlderThan(5));
+    EXPECT_TRUE(sq.noneOlderThan(3));
+    EXPECT_TRUE(sq.noneOlderThan(2));
+}
+
+TEST(StoreQueue, HeadEntryAndDrainOrder)
+{
+    StoreQueue sq(4);
+    sq.allocate(1, false);
+    sq.allocate(2, false);
+    ASSERT_NE(sq.headEntry(), nullptr);
+    EXPECT_EQ(sq.headEntry()->seq, 1u);
+    sq.freeHead(1);
+    EXPECT_EQ(sq.headEntry()->seq, 2u);
+    sq.freeHead(2);
+    EXPECT_EQ(sq.headEntry(), nullptr);
+}
+
+TEST(StoreQueue, IndexOfRoundTrips)
+{
+    StoreQueue sq(4);
+    auto idx = sq.allocate(9, false);
+    EXPECT_EQ(sq.indexOf(&sq.entry(idx)), idx);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the mesh interconnect: latency model, in-order delivery,
+ * home-bank mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+struct Recorder : MsgHandler
+{
+    std::vector<std::pair<Msg, Cycle>> received;
+    void
+    deliver(const Msg &msg, Cycle now) override
+    {
+        received.emplace_back(msg, now);
+    }
+};
+
+Msg
+makeMsg(NodeId src, NodeId dst, Addr line = 0x1000)
+{
+    Msg m;
+    m.type = MsgType::GetS;
+    m.line = line;
+    m.src = src;
+    m.dst = dst;
+    m.requester = static_cast<CoreId>(src);
+    return m;
+}
+
+} // namespace
+
+class NetworkTest : public ::testing::Test
+{
+  protected:
+    NetworkTest() : net(16, NetParams{})
+    {
+        for (NodeId n = 0; n < 32; n++)
+            net.attach(n, &recorders[n]);
+    }
+
+    NetParams params;
+    Network net{16, NetParams{}};
+    Recorder recorders[32];
+};
+
+TEST_F(NetworkTest, SameTileStillPaysOneHop)
+{
+    // Core 3 and bank 3 share a tile: latency == hopLatency.
+    EXPECT_EQ(net.latency(3, 16 + 3), NetParams{}.hopLatency);
+}
+
+TEST_F(NetworkTest, LatencyGrowsWithManhattanDistance)
+{
+    // 16 cores -> 4x4 mesh. Node 0 at (0,0), node 15 at (3,3).
+    EXPECT_EQ(net.hops(0, 15), 6u);
+    EXPECT_EQ(net.latency(0, 15), NetParams{}.hopLatency * 7);
+    EXPECT_EQ(net.hops(0, 3), 3u);
+}
+
+TEST_F(NetworkTest, HopsAreSymmetric)
+{
+    for (NodeId a = 0; a < 16; a++)
+        for (NodeId b = 0; b < 16; b++)
+            EXPECT_EQ(net.hops(a, b), net.hops(b, a));
+}
+
+TEST_F(NetworkTest, DeliversAtComputedCycle)
+{
+    net.send(makeMsg(0, 15), 10);
+    Cycle due = 10 + net.latency(0, 15);
+    for (Cycle c = 0; c <= due; c++)
+        net.tick(c);
+    ASSERT_EQ(recorders[15].received.size(), 1u);
+    EXPECT_EQ(recorders[15].received[0].second, due);
+}
+
+TEST_F(NetworkTest, NothingDeliveredEarly)
+{
+    net.send(makeMsg(0, 15), 10);
+    net.tick(10 + net.latency(0, 15) - 1);
+    EXPECT_TRUE(recorders[15].received.empty());
+    EXPECT_FALSE(net.idle());
+}
+
+TEST_F(NetworkTest, PointToPointOrderPreserved)
+{
+    // A later message with shorter computed latency must not overtake an
+    // earlier one on the same (src,dst) pair.
+    Msg a = makeMsg(0, 15, 0xAAA);
+    Msg b = makeMsg(0, 15, 0xBBB);
+    net.send(a, 0);
+    net.send(b, 1);
+    for (Cycle c = 0; c <= 100; c++)
+        net.tick(c);
+    ASSERT_EQ(recorders[15].received.size(), 2u);
+    EXPECT_EQ(recorders[15].received[0].first.line, 0xAAAu);
+    EXPECT_EQ(recorders[15].received[1].first.line, 0xBBBu);
+    EXPECT_LE(recorders[15].received[0].second,
+              recorders[15].received[1].second);
+}
+
+TEST_F(NetworkTest, IndependentPairsCanInterleave)
+{
+    net.send(makeMsg(0, 1), 0);  // 1 tile apart
+    net.send(makeMsg(0, 15), 0); // far
+    for (Cycle c = 0; c <= 100; c++)
+        net.tick(c);
+    ASSERT_EQ(recorders[1].received.size(), 1u);
+    ASSERT_EQ(recorders[15].received.size(), 1u);
+    EXPECT_LT(recorders[1].received[0].second,
+              recorders[15].received[0].second);
+}
+
+TEST_F(NetworkTest, HomeBankIsStableAndInRange)
+{
+    for (Addr line = 0; line < 256 * lineBytes; line += lineBytes) {
+        NodeId bank = net.homeBank(line);
+        EXPECT_GE(bank, 16u);
+        EXPECT_LT(bank, 32u);
+        EXPECT_EQ(bank, net.homeBank(line + 7)); // same line, same bank
+    }
+}
+
+TEST_F(NetworkTest, HomeBanksSpreadAcrossBanks)
+{
+    std::vector<int> seen(16, 0);
+    for (Addr l = 0; l < 64 * lineBytes; l += lineBytes)
+        seen[net.homeBank(l) - 16]++;
+    for (int count : seen)
+        EXPECT_EQ(count, 4); // 64 consecutive lines over 16 banks
+}
+
+TEST_F(NetworkTest, IdleAfterAllDelivered)
+{
+    net.send(makeMsg(2, 9), 0);
+    for (Cycle c = 0; c <= 100; c++)
+        net.tick(c);
+    EXPECT_TRUE(net.idle());
+}
+
+TEST_F(NetworkTest, MessageStatsCounted)
+{
+    net.send(makeMsg(0, 1), 0);
+    net.send(makeMsg(1, 2), 0);
+    EXPECT_EQ(net.stats().counterValue("messages"), 2u);
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the RoW contention predictor (§IV-D, §IV-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "row/predictor.hh"
+
+using namespace rowsim;
+
+namespace
+{
+RowConfig
+cfg(PredictorUpdate u)
+{
+    RowConfig c;
+    c.update = u;
+    return c;
+}
+} // namespace
+
+TEST(Predictor, InitiallyPredictsNotContended)
+{
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    for (Addr pc = 0; pc < 1024; pc += 4)
+        EXPECT_FALSE(p.predictContended(pc));
+}
+
+TEST(Predictor, XorIndexMatchesPaper)
+{
+    // §IV-D: 6 LSBs of the PC XORed with the following 6 bits.
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    const Addr pc = 0xABC;
+    const unsigned expected = (pc & 63) ^ ((pc >> 6) & 63);
+    EXPECT_EQ(p.index(pc), expected);
+    EXPECT_LT(p.index(0xDEADBEEF), 64u);
+}
+
+TEST(Predictor, UpDownNeedsTwoContentionsToGoLazy)
+{
+    // Threshold 1: counter must exceed 1.
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    p.update(0x40, true);
+    EXPECT_FALSE(p.predictContended(0x40)); // counter == 1
+    p.update(0x40, true);
+    EXPECT_TRUE(p.predictContended(0x40)); // counter == 2
+}
+
+TEST(Predictor, UpDownDecaysBack)
+{
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    p.update(0x40, true);
+    p.update(0x40, true);
+    ASSERT_TRUE(p.predictContended(0x40));
+    p.update(0x40, false);
+    EXPECT_FALSE(p.predictContended(0x40)); // back to 1
+}
+
+TEST(Predictor, SaturateJumpsToMaxOnContention)
+{
+    ContentionPredictor p(cfg(PredictorUpdate::SaturateOnContention));
+    p.update(0x40, true);
+    EXPECT_TRUE(p.predictContended(0x40));
+    EXPECT_EQ(p.counter(p.index(0x40)), 15u); // 2^4 - 1
+}
+
+TEST(Predictor, SaturateNeedsFifteenCalmUpdatesToFlip)
+{
+    // §VI: "the saturating predictor needs to not face contention fifteen
+    // consecutive times before the prediction moves to not contended".
+    ContentionPredictor p(cfg(PredictorUpdate::SaturateOnContention));
+    p.update(0x40, true);
+    for (int i = 0; i < 14; i++) {
+        p.update(0x40, false);
+        EXPECT_TRUE(p.predictContended(0x40)) << "after " << i + 1;
+    }
+    p.update(0x40, false); // 15th
+    EXPECT_FALSE(p.predictContended(0x40));
+}
+
+TEST(Predictor, CounterSaturatesAtBounds)
+{
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    for (int i = 0; i < 100; i++)
+        p.update(0x40, true);
+    EXPECT_EQ(p.counter(p.index(0x40)), 15u);
+    for (int i = 0; i < 100; i++)
+        p.update(0x40, false);
+    EXPECT_EQ(p.counter(p.index(0x40)), 0u);
+}
+
+TEST(Predictor, StorageIs256BitsAtPaperGeometry)
+{
+    // §IV-F: 64 entries x 4 bits = 256 bits (32 bytes).
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    EXPECT_EQ(p.storageBits(), 256u);
+}
+
+TEST(Predictor, AliasingSharesEntries)
+{
+    // PCs mapping to the same XOR index share a counter (§IV-D discusses
+    // the resulting mispredictions when entry count shrinks).
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    const Addr pc_a = 0x1;           // index 1
+    const Addr pc_b = (1ULL << 6) | 0; // 0 ^ 1 -> index 1
+    ASSERT_EQ(p.index(pc_a), p.index(pc_b));
+    p.update(pc_a, true);
+    p.update(pc_a, true);
+    EXPECT_TRUE(p.predictContended(pc_b));
+}
+
+TEST(Predictor, SingleEntryConfigAliasesEverything)
+{
+    RowConfig c = cfg(PredictorUpdate::UpDown);
+    c.predictorEntries = 1;
+    ContentionPredictor p(c);
+    p.update(0x1234, true);
+    p.update(0x9876, true);
+    EXPECT_TRUE(p.predictContended(0x5555));
+}
+
+TEST(Predictor, AccuracyStatsTrackOutcomes)
+{
+    ContentionPredictor p(cfg(PredictorUpdate::UpDown));
+    p.update(0x40, false); // predicted false, outcome false: correct
+    p.update(0x40, true);  // predicted false, outcome true: wrong
+    EXPECT_EQ(p.stats().counterValue("updates"), 2u);
+    EXPECT_EQ(p.stats().counterValue("correct"), 1u);
+    EXPECT_EQ(p.stats().counterValue("contendedOutcomes"), 1u);
+}
+
+TEST(Predictor, RejectsNonPowerOfTwoEntries)
+{
+    RowConfig c = cfg(PredictorUpdate::UpDown);
+    c.predictorEntries = 48;
+    EXPECT_THROW(ContentionPredictor p(c), std::logic_error);
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Randomised protocol stress: cores issue random mixes of loads, stores
+ * and atomics over a small shared region (maximising transient-state
+ * collisions), across several seeds and policies. Property checks:
+ *
+ *  1. liveness — the run completes and drains without tripping the
+ *     deadlock watchdog;
+ *  2. single-writer — after draining, every line has at most one core
+ *     holding it Modified;
+ *  3. value integrity — per-word FAA counters account for every
+ *     committed increment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+constexpr unsigned kSharedLines = 16;
+constexpr unsigned kCounterWords = 4;
+
+/** Random mix of loads / stores / FAAs over a tiny hot region. */
+class ChaosStream : public InstStream
+{
+  public:
+    ChaosStream(CoreId tid, std::uint64_t seed)
+        : tid_(tid), rng_(seed * 977 + tid * 131 + 1)
+    {
+    }
+
+    MicroOp
+    next() override
+    {
+        MicroOp op;
+        const double dice = rng_.uniform();
+        if (dice < 0.35) {
+            op.cls = OpClass::Load;
+            op.addr = addrmap::sharedDataLine(rng_.below(kSharedLines));
+        } else if (dice < 0.6) {
+            op.cls = OpClass::Store;
+            op.addr = addrmap::sharedDataLine(rng_.below(kSharedLines)) +
+                      8 * rng_.below(4);
+            op.value = rng_.next();
+        } else if (dice < 0.8) {
+            op.cls = OpClass::AtomicRMW;
+            op.aop = AtomicOp::FetchAdd;
+            op.addr = addrmap::sharedAtomicWord(rng_.below(kCounterWords));
+            op.value = 1;
+            op.pc = 0x9000 + 4 * (op.addr & 0xff);
+        } else if (dice < 0.9) {
+            op.cls = OpClass::IntAlu;
+        } else {
+            op.cls = OpClass::Load;
+            op.addr = addrmap::privateLine(tid_, rng_.below(256));
+        }
+        op.endOfIteration = rng_.chance(0.2);
+        return op;
+    }
+
+  private:
+    CoreId tid_;
+    Rng rng_;
+};
+
+struct StressCase
+{
+    std::uint64_t seed;
+    AtomicPolicy policy;
+    bool forwarding;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<StressCase> &info)
+{
+    const char *p = info.param.policy == AtomicPolicy::Eager   ? "eager"
+                    : info.param.policy == AtomicPolicy::Lazy  ? "lazy"
+                    : info.param.policy == AtomicPolicy::RoW   ? "row"
+                                                               : "fenced";
+    return std::string(p) + (info.param.forwarding ? "_fwd" : "") +
+           "_seed" + std::to_string(info.param.seed);
+}
+
+} // namespace
+
+class ProtocolStress : public ::testing::TestWithParam<StressCase>
+{
+};
+
+TEST_P(ProtocolStress, InvariantsHoldUnderChaos)
+{
+    const StressCase &c = GetParam();
+    constexpr unsigned cores = 8;
+
+    SystemParams sp;
+    sp.numCores = cores;
+    sp.core.atomicPolicy = c.policy;
+    sp.core.forwardToAtomics = c.forwarding;
+
+    std::vector<std::unique_ptr<InstStream>> streams;
+    for (CoreId i = 0; i < cores; i++)
+        streams.push_back(std::make_unique<ChaosStream>(i, c.seed));
+    System sys(sp, std::move(streams));
+
+    // 1. Liveness.
+    ASSERT_NO_THROW(sys.run(60));
+    ASSERT_NO_THROW(sys.drain());
+
+    // 2. Single-writer: at most one Modified holder per line.
+    for (unsigned l = 0; l < kSharedLines; l++) {
+        const Addr line = addrmap::sharedDataLine(l);
+        int owners = 0;
+        for (CoreId i = 0; i < cores; i++)
+            owners += sys.mem().cache(i).lineState(line) ==
+                      CacheState::Modified;
+        EXPECT_LE(owners, 1) << "line " << l;
+    }
+    for (unsigned w = 0; w < kCounterWords; w++) {
+        const Addr line = addrmap::sharedAtomicWord(w);
+        int owners = 0;
+        for (CoreId i = 0; i < cores; i++)
+            owners += sys.mem().cache(i).lineState(line) ==
+                      CacheState::Modified;
+        EXPECT_LE(owners, 1) << "counter " << w;
+    }
+
+    // 3. Value integrity: committed FAAs == sum of the counters.
+    std::uint64_t committed = 0;
+    for (CoreId i = 0; i < cores; i++)
+        committed += sys.core(i).committedAtomics();
+    std::uint64_t sum = 0;
+    for (unsigned w = 0; w < kCounterWords; w++)
+        sum += sys.mem().functional().read64(addrmap::sharedAtomicWord(w));
+    EXPECT_EQ(sum, committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ProtocolStress,
+    ::testing::Values(
+        StressCase{1, AtomicPolicy::Eager, false},
+        StressCase{2, AtomicPolicy::Eager, true},
+        StressCase{3, AtomicPolicy::Lazy, false},
+        StressCase{4, AtomicPolicy::RoW, false},
+        StressCase{5, AtomicPolicy::RoW, true},
+        StressCase{6, AtomicPolicy::Fenced, false},
+        StressCase{7, AtomicPolicy::Eager, false},
+        StressCase{8, AtomicPolicy::RoW, true},
+        StressCase{9, AtomicPolicy::Lazy, false},
+        StressCase{10, AtomicPolicy::Eager, true}),
+    caseName);

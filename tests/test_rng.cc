@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace rowsim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        auto v = r.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 10000; i++)
+        seen[r.below(8)]++;
+    for (int c : seen)
+        EXPECT_GT(c, 1000); // roughly uniform
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; i++)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; i++) {
+        auto v = r.between(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}

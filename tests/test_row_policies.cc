@@ -1,0 +1,201 @@
+/**
+ * @file
+ * End-to-end tests of the RoW mechanism: the predictor learns real
+ * contention, detectors mark the right atomics, lazy execution engages,
+ * the locality promotion fires, and the headline performance ordering
+ * (lazy < eager on contended, eager < lazy on uncontended) holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+
+using namespace rowsim;
+
+namespace
+{
+/** Small quotas keep the suite fast while staying well above noise. */
+RunResult
+quickRun(const std::string &w, const ExpConfig &cfg, std::uint64_t quota,
+         unsigned cores = 16)
+{
+    return runExperiment(w, cfg, cores, quota);
+}
+} // namespace
+
+TEST(RowPolicy, ContendedWorkloadPrefersLazy)
+{
+    RunResult eager = quickRun("pc", eagerConfig(), 60);
+    RunResult lazy = quickRun("pc", lazyConfig(), 60);
+    EXPECT_LT(lazy.cycles, eager.cycles);
+}
+
+TEST(RowPolicy, UncontendedWorkloadPrefersEager)
+{
+    RunResult eager = quickRun("canneal", eagerConfig(), 80);
+    RunResult lazy = quickRun("canneal", lazyConfig(), 80);
+    EXPECT_LT(eager.cycles, lazy.cycles);
+}
+
+TEST(RowPolicy, RoWTracksTheBetterStaticPolicyOnBothExtremes)
+{
+    for (const char *w : {"pc", "canneal"}) {
+        RunResult eager = quickRun(w, eagerConfig(), 60);
+        RunResult lazy = quickRun(w, lazyConfig(), 60);
+        RunResult row = quickRun(
+            w, rowConfig(ContentionDetector::RWDir,
+                         PredictorUpdate::SaturateOnContention), 60);
+        Cycle best = std::min(eager.cycles, lazy.cycles);
+        Cycle worst = std::max(eager.cycles, lazy.cycles);
+        // RoW must land close to the better policy, not the worse one.
+        EXPECT_LT(row.cycles, best + (worst - best) / 2) << w;
+    }
+}
+
+TEST(RowPolicy, PredictorActuallyChangesExecutionMode)
+{
+    RunResult row = quickRun(
+        "pc", rowConfig(ContentionDetector::RWDir,
+                        PredictorUpdate::SaturateOnContention), 60);
+    // Nearly every pc atomic should end up lazy after warmup.
+    EXPECT_GT(row.lazyIssued, row.eagerIssued);
+
+    RunResult row2 = quickRun(
+        "canneal", rowConfig(ContentionDetector::RWDir,
+                             PredictorUpdate::SaturateOnContention), 80);
+    EXPECT_GT(row2.eagerIssued, 50 * row2.lazyIssued + 1);
+}
+
+TEST(RowPolicy, DetectorsSeeContentionOnlyWhereItExists)
+{
+    auto cfg = rowConfig(ContentionDetector::RWDir,
+                         PredictorUpdate::SaturateOnContention);
+    RunResult hot = quickRun("pc", cfg, 60);
+    RunResult cold = quickRun("canneal", cfg, 80);
+    ASSERT_GT(hot.atomicsUnlocked, 0u);
+    EXPECT_GT(static_cast<double>(hot.detectedContended) /
+                  hot.atomicsUnlocked, 0.5);
+    EXPECT_LT(static_cast<double>(cold.detectedContended) /
+                  cold.atomicsUnlocked, 0.05);
+}
+
+TEST(RowPolicy, ReadyWindowCatchesMoreThanExecutionWindow)
+{
+    // Under lazy execution, lock windows are tiny; EW barely sees
+    // contention while RW (address known from operand-ready) does.
+    auto ew = rowConfig(ContentionDetector::EW,
+                        PredictorUpdate::SaturateOnContention);
+    auto rw = rowConfig(ContentionDetector::RW,
+                        PredictorUpdate::SaturateOnContention);
+    RunResult r_ew = quickRun("tpcc", ew, 40);
+    RunResult r_rw = quickRun("tpcc", rw, 40);
+    ASSERT_GT(r_ew.atomicsUnlocked, 0u);
+    EXPECT_GE(static_cast<double>(r_rw.detectedContended) /
+                  r_rw.atomicsUnlocked,
+              static_cast<double>(r_ew.detectedContended) /
+                  r_ew.atomicsUnlocked);
+}
+
+TEST(RowPolicy, OracleContentionMatchesWorkloadStructure)
+{
+    RunResult hot = quickRun("pc", eagerConfig(), 60);
+    RunResult cold = quickRun("canneal", eagerConfig(), 80);
+    EXPECT_GT(hot.contendedPct, 60.0);
+    EXPECT_LT(cold.contendedPct, 5.0);
+}
+
+TEST(RowPolicy, LazyShrinksLockWindow)
+{
+    RunResult eager = quickRun("pc", eagerConfig(), 60);
+    RunResult lazy = quickRun("pc", lazyConfig(), 60);
+    EXPECT_LT(lazy.lockToUnlock * 3, eager.lockToUnlock);
+    // Lazy also shortens the acquisition itself (fewer competing locks).
+    EXPECT_LT(lazy.issueToLock, eager.issueToLock);
+}
+
+TEST(RowPolicy, LazyReducesMissLatencyOnContended)
+{
+    // Fig. 11: eager execution of contended atomics roughly doubles the
+    // average L1D miss latency.
+    RunResult eager = quickRun("pc", eagerConfig(), 60);
+    RunResult lazy = quickRun("pc", lazyConfig(), 60);
+    EXPECT_LT(lazy.missLatency, eager.missLatency);
+}
+
+TEST(RowPolicy, ForwardingRecoversCqLocality)
+{
+    // Fig. 13: with forwarding + the locality promotion, RoW matches or
+    // beats plain eager on cq; without it, RoW behaves like lazy.
+    RunResult eager = quickRun("cq", eagerConfig(), 50);
+    RunResult row_nofwd = quickRun(
+        "cq", rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown),
+        50);
+    RunResult row_fwd = quickRun(
+        "cq", rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown,
+                        true), 50);
+    EXPECT_LT(row_fwd.cycles, row_nofwd.cycles);
+    EXPECT_LE(row_fwd.cycles, eager.cycles * 11 / 10);
+    EXPECT_GT(row_fwd.atomicsForwarded + row_fwd.atomicsPromoted, 0u);
+}
+
+TEST(RowPolicy, PromotionOnlyFiresWithForwardingEnabled)
+{
+    RunResult nofwd = quickRun(
+        "cq", rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown),
+        40);
+    EXPECT_EQ(nofwd.atomicsPromoted, 0u);
+    EXPECT_EQ(nofwd.atomicsForwarded, 0u);
+}
+
+TEST(RowPolicy, ThresholdExtremesBracketTheDefault)
+{
+    // Fig. 10: threshold 0 marks every remote fill contended (hurts
+    // canneal-like apps); threshold inf degrades to plain RW.
+    auto base = rowConfig(ContentionDetector::RWDir,
+                          PredictorUpdate::SaturateOnContention);
+    auto zero = base;
+    zero.latencyThreshold = 0;
+    auto inf = base;
+    inf.latencyThreshold = 16000;
+
+    RunResult r0 = quickRun("freqmine", zero, 80);
+    RunResult r400 = quickRun("freqmine", base, 80);
+    RunResult rinf = quickRun("freqmine", inf, 80);
+    // freqmine has remote-but-uncontended fills: threshold 0 must force
+    // at least as many atomics lazy as the tuned threshold.
+    EXPECT_GE(r0.lazyIssued, r400.lazyIssued);
+    EXPECT_LE(rinf.detectedContended, r400.detectedContended);
+}
+
+TEST(RowPolicy, PredictionAccuracyIsMeaningful)
+{
+    RunResult r = quickRun(
+        "pc", rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown),
+        60);
+    // pc is ~uniformly contended: the predictor should be nearly always
+    // right once trained.
+    EXPECT_GT(r.predAccuracy, 80.0);
+}
+
+TEST(RowPolicy, Fig9ConfigSetIsComplete)
+{
+    auto cfgs = fig9Configs();
+    ASSERT_EQ(cfgs.size(), 8u);
+    EXPECT_EQ(cfgs[0].label, "eager");
+    EXPECT_EQ(cfgs[1].label, "lazy");
+    EXPECT_EQ(cfgs[2].label, "EW_U/D");
+    EXPECT_EQ(cfgs[7].label, "RW+Dir_Sat");
+}
+
+TEST(RowPolicy, HeadlineFig1OrderingHolds)
+{
+    // Spot-check the extremes of Fig. 1 at reduced scale: canneal's lazy
+    // penalty and pc's eager penalty both exceed 20%.
+    RunResult c_e = quickRun("canneal", eagerConfig(), 80);
+    RunResult c_l = quickRun("canneal", lazyConfig(), 80);
+    RunResult p_e = quickRun("pc", eagerConfig(), 60);
+    RunResult p_l = quickRun("pc", lazyConfig(), 60);
+    EXPECT_GT(static_cast<double>(c_l.cycles) / c_e.cycles, 1.2);
+    EXPECT_GT(static_cast<double>(p_e.cycles) / p_l.cycles, 1.2);
+}

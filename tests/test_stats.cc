@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace rowsim;
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c++;
+    c++;
+    EXPECT_EQ(c.value(), 2u);
+    c += 40;
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, Reset)
+{
+    Counter c;
+    c += 7;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Average, SingleSampleIsMinAndMax)
+{
+    Average a;
+    a.sample(-3.5);
+    EXPECT_DOUBLE_EQ(a.min(), -3.5);
+    EXPECT_DOUBLE_EQ(a.max(), -3.5);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0, 100, 10);
+    h.sample(5);    // bucket 0
+    h.sample(95);   // bucket 9
+    h.sample(100);  // overflow (hi is exclusive)
+    h.sample(-1);   // underflow
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[9], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.summary().count(), 4u);
+}
+
+TEST(Histogram, RejectsBadBounds)
+{
+    EXPECT_THROW(Histogram(10, 10, 4), std::logic_error);
+    EXPECT_THROW(Histogram(0, 10, 0), std::logic_error);
+}
+
+TEST(StatGroup, CountersAreNamedAndPersistent)
+{
+    StatGroup g("test");
+    g.counter("a")++;
+    g.counter("a")++;
+    g.counter("b") += 5;
+    EXPECT_EQ(g.counterValue("a"), 2u);
+    EXPECT_EQ(g.counterValue("b"), 5u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(StatGroup, AveragesByName)
+{
+    StatGroup g("test");
+    g.average("lat").sample(10);
+    g.average("lat").sample(20);
+    const Average *a = g.findAverage("lat");
+    ASSERT_NE(a, nullptr);
+    EXPECT_DOUBLE_EQ(a->mean(), 15.0);
+    EXPECT_EQ(g.findAverage("missing"), nullptr);
+}
+
+TEST(StatGroup, ResetClearsEverything)
+{
+    StatGroup g("test");
+    g.counter("a") += 3;
+    g.average("x").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+    EXPECT_EQ(g.findAverage("x")->count(), 0u);
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the StoreSet memory-dependence predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/storeset.hh"
+
+using namespace rowsim;
+
+TEST(StoreSet, NoDependenceInitially)
+{
+    StoreSet ss;
+    EXPECT_EQ(ss.dependence(0x400), 0u);
+    EXPECT_EQ(ss.setOf(0x400), StoreSet::invalidSet);
+}
+
+TEST(StoreSet, ViolationCreatesSharedSet)
+{
+    StoreSet ss;
+    ss.violation(0x400 /*load*/, 0x800 /*store*/);
+    EXPECT_NE(ss.setOf(0x400), StoreSet::invalidSet);
+    EXPECT_EQ(ss.setOf(0x400), ss.setOf(0x800));
+}
+
+TEST(StoreSet, DependencePointsToLastFetchedStore)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800);
+    ss.storeFetched(ss.setOf(0x800), 42);
+    EXPECT_EQ(ss.dependence(0x400), 42u);
+}
+
+TEST(StoreSet, StoreExecutionClearsDependence)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800);
+    ss.storeFetched(ss.setOf(0x800), 42);
+    ss.storeExecuted(ss.setOf(0x800), 42);
+    EXPECT_EQ(ss.dependence(0x400), 0u);
+}
+
+TEST(StoreSet, YoungerStoreOverwritesLfst)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800);
+    auto set = ss.setOf(0x800);
+    ss.storeFetched(set, 42);
+    ss.storeFetched(set, 50);
+    EXPECT_EQ(ss.dependence(0x400), 50u);
+    // Execution of the OLD store must not clear the newer dependence.
+    ss.storeExecuted(set, 42);
+    EXPECT_EQ(ss.dependence(0x400), 50u);
+}
+
+TEST(StoreSet, MergeKeepsSmallerSetId)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800); // set A
+    ss.violation(0x404, 0x804); // set B
+    auto a = ss.setOf(0x400);
+    auto b = ss.setOf(0x404);
+    ASSERT_NE(a, b);
+    ss.violation(0x400, 0x804); // merge
+    EXPECT_EQ(ss.setOf(0x400), std::min(a, b));
+    EXPECT_EQ(ss.setOf(0x804), std::min(a, b));
+}
+
+TEST(StoreSet, SecondViolationJoinsExistingSet)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800);
+    ss.violation(0x500, 0x800); // new load joins the store's set
+    EXPECT_EQ(ss.setOf(0x500), ss.setOf(0x800));
+}
+
+TEST(StoreSet, ClearForgetsEverything)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800);
+    ss.storeFetched(ss.setOf(0x800), 42);
+    ss.clear();
+    EXPECT_EQ(ss.setOf(0x400), StoreSet::invalidSet);
+    EXPECT_EQ(ss.dependence(0x400), 0u);
+}
+
+TEST(StoreSet, ViolationStatCounted)
+{
+    StoreSet ss;
+    ss.violation(0x400, 0x800);
+    ss.violation(0x404, 0x808);
+    EXPECT_EQ(ss.stats().counterValue("violations"), 2u);
+}
+
+TEST(StoreSet, InvalidSetOperationsAreNoops)
+{
+    StoreSet ss;
+    ss.storeFetched(StoreSet::invalidSet, 7);
+    ss.storeExecuted(StoreSet::invalidSet, 7);
+    EXPECT_EQ(ss.dependence(0x123), 0u);
+}

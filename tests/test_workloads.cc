@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate: determinism, profile
+ * structure, address-map disjointness, and per-benchmark properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/profiles.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+TEST(AddrMap, RegionsAreDisjoint)
+{
+    EXPECT_LT(addrmap::sharedAtomicBase, addrmap::sharedDataBase);
+    EXPECT_LT(addrmap::sharedDataBase, addrmap::privateBase);
+    // Private regions of different threads never overlap.
+    EXPECT_GE(addrmap::privateLine(1, 0),
+              addrmap::privateLine(0, addrmap::privateSpan / lineBytes - 1));
+}
+
+TEST(AddrMap, SharedAtomicWordsOnDistinctLines)
+{
+    std::set<Addr> lines;
+    for (std::uint64_t i = 0; i < 100; i++)
+        lines.insert(lineAlign(addrmap::sharedAtomicWord(i)));
+    EXPECT_EQ(lines.size(), 100u);
+}
+
+TEST(KernelStream, DeterministicForSameSeedAndThread)
+{
+    WorkloadProfile p = profileFor("pc");
+    KernelStream a(p, 3, 42), b(p, 3, 42);
+    for (int i = 0; i < 5000; i++) {
+        MicroOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.cls, y.cls);
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.src0, y.src0);
+        EXPECT_EQ(x.value, y.value);
+    }
+}
+
+TEST(KernelStream, DifferentThreadsDiverge)
+{
+    WorkloadProfile p = profileFor("canneal");
+    KernelStream a(p, 0, 42), b(p, 1, 42);
+    int same_addr = 0, mem_ops = 0;
+    for (int i = 0; i < 2000; i++) {
+        MicroOp x = a.next(), y = b.next();
+        if (x.isMem() && y.isMem()) {
+            mem_ops++;
+            same_addr += x.addr == y.addr;
+        }
+    }
+    EXPECT_GT(mem_ops, 10);
+    EXPECT_LT(same_addr, mem_ops / 4);
+}
+
+TEST(KernelStream, EveryIterationEndsExactlyOnce)
+{
+    WorkloadProfile p = profileFor("sps");
+    KernelStream s(p, 0, 1);
+    int iters = 0, ops = 0;
+    for (; iters < 10; ops++) {
+        if (s.next().endOfIteration)
+            iters++;
+        ASSERT_LT(ops, 100000);
+    }
+    // Iteration length ~= profile estimate (within 2x).
+    double per_iter = static_cast<double>(ops) / iters;
+    EXPECT_GT(per_iter, p.approxInstsPerIter() * 0.5);
+    EXPECT_LT(per_iter, p.approxInstsPerIter() * 2.0);
+}
+
+TEST(KernelStream, DependencyDistancesPointBackwards)
+{
+    WorkloadProfile p = profileFor("streamcluster");
+    KernelStream s(p, 0, 1);
+    std::uint64_t pos = 0;
+    for (int i = 0; i < 5000; i++, pos++) {
+        MicroOp op = s.next();
+        // Distances must never exceed the current stream position.
+        EXPECT_LE(op.src0, pos + 1);
+    }
+}
+
+namespace
+{
+
+struct ProfileStats
+{
+    double atomics_per_op = 0;
+    double shared_atomic_frac = 0;
+    std::set<Addr> atomic_lines;
+};
+
+ProfileStats
+scan(const std::string &name, int ops = 100000)
+{
+    WorkloadProfile p = profileFor(name);
+    KernelStream s(p, 0, 7);
+    ProfileStats st;
+    int atomics = 0, shared = 0;
+    for (int i = 0; i < ops; i++) {
+        MicroOp op = s.next();
+        if (op.cls == OpClass::AtomicRMW) {
+            atomics++;
+            st.atomic_lines.insert(lineAlign(op.addr));
+            if (op.addr >= addrmap::sharedAtomicBase &&
+                op.addr < addrmap::sharedDataBase) {
+                shared++;
+            }
+        }
+    }
+    st.atomics_per_op = static_cast<double>(atomics) / ops;
+    st.shared_atomic_frac = atomics ? static_cast<double>(shared) / atomics
+                                    : 0.0;
+    return st;
+}
+
+} // namespace
+
+TEST(Profiles, AtomicIntensityOrdering)
+{
+    // Fig. 5: pc and sps are the most atomic-intensive; fmm the least of
+    // the atomic-intensive set.
+    double pc = scan("pc").atomics_per_op;
+    double sps = scan("sps").atomics_per_op;
+    double fmm = scan("fmm").atomics_per_op;
+    double canneal = scan("canneal").atomics_per_op;
+    EXPECT_GT(sps, 5 * fmm);
+    EXPECT_GT(pc, 5 * fmm);
+    EXPECT_GT(canneal, fmm);
+}
+
+TEST(Profiles, CannealAtomicsSpreadOverHugeArray)
+{
+    auto st = scan("canneal");
+    // Random swaps over 2^20 words: essentially no line reuse.
+    EXPECT_GT(st.atomic_lines.size(), st.atomics_per_op * 100000 * 0.95);
+}
+
+TEST(Profiles, PcAtomicsConcentratedOnFewLines)
+{
+    auto st = scan("pc");
+    EXPECT_LE(st.atomic_lines.size(), 2u);
+    EXPECT_DOUBLE_EQ(st.shared_atomic_frac, 1.0);
+}
+
+TEST(Profiles, FreqmineMostlyPrivateAtomics)
+{
+    auto st = scan("freqmine");
+    EXPECT_LT(st.shared_atomic_frac, 0.3);
+}
+
+TEST(Profiles, CqEmitsStoreBeforeAtomicOnSameLine)
+{
+    WorkloadProfile p = profileFor("cq");
+    KernelStream s(p, 0, 3);
+    int atomics = 0, preceded = 0;
+    Addr last_store = invalidAddr;
+    for (int i = 0; i < 50000; i++) {
+        MicroOp op = s.next();
+        if (op.cls == OpClass::Store)
+            last_store = op.addr;
+        if (op.cls == OpClass::AtomicRMW) {
+            atomics++;
+            // cq: slot store (same word) followed by payload stores.
+            if (last_store != invalidAddr)
+                preceded++;
+        }
+    }
+    EXPECT_GT(atomics, 50);
+    EXPECT_EQ(preceded, atomics);
+}
+
+TEST(Profiles, AllNamedProfilesResolve)
+{
+    for (const auto &w : allWorkloads()) {
+        WorkloadProfile p = profileFor(w);
+        EXPECT_EQ(p.name, w);
+        EXPECT_GT(defaultQuota(w), 0u);
+    }
+    EXPECT_THROW(profileFor("nonexistent"), std::runtime_error);
+}
+
+TEST(Profiles, AtomicIntensiveIsSubsetOfAll)
+{
+    std::set<std::string> all(allWorkloads().begin(), allWorkloads().end());
+    for (const auto &w : atomicIntensiveWorkloads())
+        EXPECT_TRUE(all.count(w)) << w;
+    EXPECT_GT(all.size(), atomicIntensiveWorkloads().size());
+}
+
+TEST(Profiles, MakeStreamsProducesOnePerCore)
+{
+    auto streams = makeStreams(profileFor("pc"), 8, 1);
+    EXPECT_EQ(streams.size(), 8u);
+    for (auto &s : streams)
+        EXPECT_NE(s, nullptr);
+}
