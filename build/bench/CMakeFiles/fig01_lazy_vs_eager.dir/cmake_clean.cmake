@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_lazy_vs_eager.dir/fig01_lazy_vs_eager.cc.o"
+  "CMakeFiles/fig01_lazy_vs_eager.dir/fig01_lazy_vs_eager.cc.o.d"
+  "fig01_lazy_vs_eager"
+  "fig01_lazy_vs_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_lazy_vs_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_independent_insts.dir/fig04_independent_insts.cc.o"
+  "CMakeFiles/fig04_independent_insts.dir/fig04_independent_insts.cc.o.d"
+  "fig04_independent_insts"
+  "fig04_independent_insts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_independent_insts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

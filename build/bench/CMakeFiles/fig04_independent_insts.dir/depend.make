@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_independent_insts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_intensity_contention.dir/fig05_intensity_contention.cc.o"
+  "CMakeFiles/fig05_intensity_contention.dir/fig05_intensity_contention.cc.o.d"
+  "fig05_intensity_contention"
+  "fig05_intensity_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_intensity_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_row_variants.dir/fig09_row_variants.cc.o"
+  "CMakeFiles/fig09_row_variants.dir/fig09_row_variants.cc.o.d"
+  "fig09_row_variants"
+  "fig09_row_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_row_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_forwarding.dir/fig13_forwarding.cc.o"
+  "CMakeFiles/fig13_forwarding.dir/fig13_forwarding.cc.o.d"
+  "fig13_forwarding"
+  "fig13_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

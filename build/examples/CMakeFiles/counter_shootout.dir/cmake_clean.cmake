@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_shootout.dir/counter_shootout.cpp.o"
+  "CMakeFiles/counter_shootout.dir/counter_shootout.cpp.o.d"
+  "counter_shootout"
+  "counter_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

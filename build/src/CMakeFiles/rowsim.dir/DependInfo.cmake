@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/rowsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rowsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/atomic_queue.cc" "src/CMakeFiles/rowsim.dir/cpu/atomic_queue.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/cpu/atomic_queue.cc.o.d"
+  "/root/repo/src/cpu/branch.cc" "src/CMakeFiles/rowsim.dir/cpu/branch.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/cpu/branch.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/rowsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/rowsim.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/storeset.cc" "src/CMakeFiles/rowsim.dir/cpu/storeset.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/cpu/storeset.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/rowsim.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/rowsim.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/l1cache.cc" "src/CMakeFiles/rowsim.dir/mem/l1cache.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/mem/l1cache.cc.o.d"
+  "/root/repo/src/mem/memsystem.cc" "src/CMakeFiles/rowsim.dir/mem/memsystem.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/mem/memsystem.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/rowsim.dir/net/network.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/net/network.cc.o.d"
+  "/root/repo/src/row/predictor.cc" "src/CMakeFiles/rowsim.dir/row/predictor.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/row/predictor.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/rowsim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/microbench.cc" "src/CMakeFiles/rowsim.dir/sim/microbench.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/sim/microbench.cc.o.d"
+  "/root/repo/src/sim/profiles.cc" "src/CMakeFiles/rowsim.dir/sim/profiles.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/sim/profiles.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/rowsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/CMakeFiles/rowsim.dir/sim/workloads.cc.o" "gcc" "src/CMakeFiles/rowsim.dir/sim/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

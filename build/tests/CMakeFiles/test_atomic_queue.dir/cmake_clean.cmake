@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_queue.dir/test_atomic_queue.cc.o"
+  "CMakeFiles/test_atomic_queue.dir/test_atomic_queue.cc.o.d"
+  "test_atomic_queue"
+  "test_atomic_queue.pdb"
+  "test_atomic_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_stress.dir/test_protocol_stress.cc.o"
+  "CMakeFiles/test_protocol_stress.dir/test_protocol_stress.cc.o.d"
+  "test_protocol_stress"
+  "test_protocol_stress.pdb"
+  "test_protocol_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

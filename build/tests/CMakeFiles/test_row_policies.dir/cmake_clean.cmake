@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_policies.dir/test_row_policies.cc.o"
+  "CMakeFiles/test_row_policies.dir/test_row_policies.cc.o.d"
+  "test_row_policies"
+  "test_row_policies.pdb"
+  "test_row_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_array[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_branch[1]_include.cmake")
+include("/root/repo/build/tests/test_storeset[1]_include.cmake")
+include("/root/repo/build/tests/test_lsq[1]_include.cmake")
+include("/root/repo/build/tests/test_atomic_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_directory[1]_include.cmake")
+include("/root/repo/build/tests/test_private_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_core_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_system_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_atomicity[1]_include.cmake")
+include("/root/repo/build/tests/test_row_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_microbench[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
