@@ -8,6 +8,7 @@
 #define ROWSIM_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 
@@ -170,6 +171,18 @@ struct SystemParams
     /** Watchdog: abort if no instruction commits globally for this many
      *  cycles (deadlock detection; invariant #4 in DESIGN.md). */
     Cycle deadlockCycles = 2'000'000;
+
+    // ---- observability (see src/common/trace.hh) ----
+
+    /** Trace categories to enable, same syntax as the ROWSIM_TRACE env
+     *  var ("atomic,coherence", "all"; empty = env var / off). */
+    std::string traceCategories;
+    /** Chrome trace-event JSON output path (empty = ROWSIM_TRACE_JSON
+     *  env var, or "rowsim.trace.json" when tracing is on). */
+    std::string traceJsonPath;
+    /** Interval-stats sampling period in cycles (0 = the
+     *  ROWSIM_STATS_INTERVAL env var, or off). */
+    Cycle statsInterval = 0;
 };
 
 } // namespace rowsim

@@ -6,6 +6,47 @@
 namespace rowsim
 {
 
+namespace
+{
+
+LogLevel &
+levelStorage()
+{
+    static LogLevel level = [] {
+        const char *env = std::getenv("ROWSIM_LOG_LEVEL");
+        return env && *env ? parseLogLevel(env) : LogLevel::Info;
+    }();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return levelStorage();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStorage() = level;
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "silent" || name == "error")
+        return LogLevel::Silent;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    fatalImpl(__FILE__, __LINE__,
+              "bad ROWSIM_LOG_LEVEL '" + name +
+                  "' (valid: silent, warn, info)");
+}
+
 std::string
 strprintf(const char *fmt, ...)
 {
@@ -45,13 +86,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    // stderr, not stdout: trace text and JSON reports own stdout.
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace rowsim

@@ -7,6 +7,7 @@
 #ifndef ROWSIM_COMMON_LOG_HH
 #define ROWSIM_COMMON_LOG_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +18,25 @@ namespace rowsim
 /** Printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Diagnostic verbosity. panic/fatal always print; warn() is emitted at
+ * Warn and above, inform() at Info and above. All diagnostics go to
+ * stderr so stdout stays machine-parseable (JSON reports, bench tables).
+ */
+enum class LogLevel : std::uint8_t
+{
+    Silent = 0, ///< errors only (panic / fatal)
+    Warn = 1,
+    Info = 2,
+};
+
+/** Current level. Initialised once from ROWSIM_LOG_LEVEL
+ *  ("silent"|"warn"|"info"; default info). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+/** Parse a level name; fatal on unknown names. */
+LogLevel parseLogLevel(const std::string &name);
 
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);

@@ -15,6 +15,19 @@ StatGroup::average(const std::string &name)
     return averages_[name];
 }
 
+Formula &
+StatGroup::formula(const std::string &name)
+{
+    return formulas_[name];
+}
+
+double
+StatGroup::formulaValue(const std::string &name) const
+{
+    auto it = formulas_.find(name);
+    return it == formulas_.end() ? 0.0 : it->second.value();
+}
+
 std::uint64_t
 StatGroup::counterValue(const std::string &name) const
 {
@@ -32,10 +45,57 @@ StatGroup::findAverage(const std::string &name) const
 void
 StatGroup::reset()
 {
+    // Formulas are derived values; resetting the inputs resets them.
     for (auto &kv : counters_)
         kv.second.reset();
     for (auto &kv : averages_)
         kv.second.reset();
+}
+
+void
+IntervalStats::configure(Cycle period)
+{
+    period_ = period;
+    nextAt_ = period;
+}
+
+void
+IntervalStats::addProbe(std::string name, std::function<double()> read,
+                        bool delta)
+{
+    Probe p;
+    p.name = std::move(name);
+    p.read = std::move(read);
+    p.delta = delta;
+    probes_.push_back(std::move(p));
+    series_.emplace_back();
+}
+
+void
+IntervalStats::sample(Cycle now)
+{
+    cycles_.push_back(now);
+    for (std::size_t i = 0; i < probes_.size(); i++) {
+        Probe &p = probes_[i];
+        const double v = p.read ? p.read() : 0.0;
+        series_[i].push_back(p.delta ? v - p.last : v);
+        p.last = v;
+    }
+    if (period_ != 0) {
+        while (nextAt_ <= now)
+            nextAt_ += period_;
+    }
+}
+
+void
+IntervalStats::reset()
+{
+    cycles_.clear();
+    for (auto &s : series_)
+        s.clear();
+    for (auto &p : probes_)
+        p.last = 0;
+    nextAt_ = period_;
 }
 
 } // namespace rowsim

@@ -10,11 +10,13 @@
 #define ROWSIM_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
+#include "common/types.hh"
 
 namespace rowsim
 {
@@ -90,6 +92,11 @@ class Histogram
         } else {
             auto idx = static_cast<std::size_t>(
                 (v - lo_) / (hi_ - lo_) * counts_.size());
+            // Float rounding can push v just below hi_ onto idx ==
+            // counts_.size() (e.g. when v - lo_ rounds up to hi_ - lo_);
+            // clamp into the top bucket instead of writing out of bounds.
+            if (idx >= counts_.size())
+                idx = counts_.size() - 1;
             counts_[idx]++;
         }
     }
@@ -118,6 +125,84 @@ class Histogram
 };
 
 /**
+ * A derived statistic: a closure over other stats, evaluated lazily at
+ * dump time (gem5's Formula, minus the expression tree).
+ */
+class Formula
+{
+  public:
+    Formula &
+    operator=(std::function<double()> fn)
+    {
+        fn_ = std::move(fn);
+        return *this;
+    }
+
+    bool defined() const { return static_cast<bool>(fn_); }
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Periodic snapshots of selected quantities: every `period` cycles each
+ * probe is read and one point is appended to its time series (IPC per
+ * 10k cycles, contended-atomic rate, ...). Probes registered as `delta`
+ * report the per-interval difference of a monotonically growing counter
+ * instead of its absolute value.
+ */
+class IntervalStats
+{
+  public:
+    struct Probe
+    {
+        std::string name;
+        std::function<double()> read;
+        bool delta = false;
+        double last = 0; ///< previous absolute value (delta probes)
+    };
+
+    /** Set the sampling period; 0 disables sampling. */
+    void configure(Cycle period);
+
+    bool enabled() const { return period_ != 0; }
+    Cycle period() const { return period_; }
+
+    void addProbe(std::string name, std::function<double()> read,
+                  bool delta = false);
+
+    /** Called once per cycle; samples when a period boundary passes. */
+    void
+    tick(Cycle now)
+    {
+        if (period_ != 0 && now >= nextAt_)
+            sample(now);
+    }
+
+    /** Take one sample immediately (e.g. a final partial interval). */
+    void sample(Cycle now);
+
+    const std::vector<Probe> &probes() const { return probes_; }
+    /** Cycle stamps of the samples taken so far. */
+    const std::vector<Cycle> &sampleCycles() const { return cycles_; }
+    /** Time series, indexed [probe][sample] in probe order. */
+    const std::vector<std::vector<double>> &series() const
+    {
+        return series_;
+    }
+
+    void reset();
+
+  private:
+    Cycle period_ = 0;
+    Cycle nextAt_ = 0;
+    std::vector<Probe> probes_;
+    std::vector<Cycle> cycles_;
+    std::vector<std::vector<double>> series_;
+};
+
+/**
  * A named bag of statistics. Components own one and register their
  * counters; System aggregates per-core groups for reporting.
  */
@@ -128,11 +213,14 @@ class StatGroup
 
     Counter &counter(const std::string &name);
     Average &average(const std::string &name);
+    Formula &formula(const std::string &name);
 
     /** Read a counter by name; 0 if it was never created. */
     std::uint64_t counterValue(const std::string &name) const;
     /** Read an average by name; default-constructed if absent. */
     const Average *findAverage(const std::string &name) const;
+    /** Evaluate a formula by name; 0 if absent. */
+    double formulaValue(const std::string &name) const;
 
     void reset();
 
@@ -145,11 +233,16 @@ class StatGroup
     {
         return averages_;
     }
+    const std::map<std::string, Formula> &formulas() const
+    {
+        return formulas_;
+    }
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Formula> formulas_;
 };
 
 } // namespace rowsim

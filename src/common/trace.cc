@@ -1,0 +1,296 @@
+#include "common/trace.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace rowsim
+{
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Pipeline: return "pipeline";
+      case TraceCategory::Atomic: return "atomic";
+      case TraceCategory::Coherence: return "coherence";
+      case TraceCategory::Directory: return "directory";
+      case TraceCategory::Network: return "network";
+      case TraceCategory::Predictor: return "predictor";
+      case TraceCategory::Queue: return "queue";
+    }
+    return "?";
+}
+
+std::uint32_t
+parseTraceCategories(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim and lowercase.
+        while (!tok.empty() && (tok.front() == ' ' || tok.front() == '\t'))
+            tok.erase(tok.begin());
+        while (!tok.empty() && (tok.back() == ' ' || tok.back() == '\t'))
+            tok.pop_back();
+        for (auto &ch : tok)
+            ch = static_cast<char>(std::tolower(ch));
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask |= traceCategoryAll;
+            continue;
+        }
+        if (tok == "none")
+            continue;
+        bool known = false;
+        for (std::uint32_t bit = 1; bit <= traceCategoryAll; bit <<= 1) {
+            if (tok == traceCategoryName(static_cast<TraceCategory>(bit))) {
+                mask |= bit;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            ROWSIM_FATAL("unknown trace category '%s' (valid: pipeline, "
+                         "atomic, coherence, directory, network, "
+                         "predictor, queue, all, none)",
+                         tok.c_str());
+    }
+    return mask;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+Trace &
+Trace::instance()
+{
+    static Trace t;
+    return t;
+}
+
+Trace::~Trace()
+{
+    closeAll();
+}
+
+void
+Trace::initFromEnv()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    const char *spec = std::getenv("ROWSIM_TRACE");
+    if (!spec || !*spec)
+        return;
+    Trace &t = instance();
+    t.configure(parseTraceCategories(spec));
+    if (mask_ == 0)
+        return;
+
+    if (const char *path = std::getenv("ROWSIM_TRACE_FILE");
+        path && *path) {
+        std::FILE *f = std::fopen(path, "w");
+        if (!f)
+            ROWSIM_FATAL("cannot open trace text file '%s'", path);
+        t.setTextSink(f, true);
+    }
+    const char *json = std::getenv("ROWSIM_TRACE_JSON");
+    t.openJson(json && *json ? json : "rowsim.trace.json");
+}
+
+void
+Trace::setTextSink(std::FILE *f, bool owned)
+{
+    if (ownTextSink_ && textSink_)
+        std::fclose(textSink_);
+    textSink_ = f;
+    ownTextSink_ = owned;
+}
+
+bool
+Trace::openJson(const std::string &path)
+{
+    closeJson();
+    json_ = std::fopen(path.c_str(), "w");
+    if (!json_) {
+        ROWSIM_WARN("cannot open chrome trace file '%s'", path.c_str());
+        return false;
+    }
+    std::fputs("{\"traceEvents\":[\n", json_);
+    jsonFirst_ = true;
+    return true;
+}
+
+void
+Trace::closeJson()
+{
+    if (!json_)
+        return;
+    std::fputs("\n]}\n", json_);
+    std::fclose(json_);
+    json_ = nullptr;
+}
+
+void
+Trace::closeAll()
+{
+    closeJson();
+    setTextSink(nullptr, false);
+}
+
+void
+Trace::emitJson(const std::string &record)
+{
+    if (!json_)
+        return;
+    if (!jsonFirst_)
+        std::fputs(",\n", json_);
+    jsonFirst_ = false;
+    std::fputs(record.c_str(), json_);
+    events_++;
+}
+
+void
+Trace::text(TraceCategory cat, Cycle cycle, const char *fmt, ...)
+{
+    if (!enabled(cat))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    std::FILE *out = textSink_ ? textSink_ : stderr;
+    std::fprintf(out, "%12llu [%s] %s\n",
+                 static_cast<unsigned long long>(cycle),
+                 traceCategoryName(cat), buf);
+}
+
+namespace
+{
+std::string
+argsField(const std::string &args_json)
+{
+    return args_json.empty() ? std::string()
+                             : ",\"args\":" + args_json;
+}
+} // namespace
+
+void
+Trace::complete(TraceCategory cat, int pid, int tid, const char *name,
+                Cycle start, Cycle end, const std::string &args_json)
+{
+    if (!json_ || !enabled(cat))
+        return;
+    emitJson(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+        "\"dur\":%llu,\"pid\":%d,\"tid\":%d%s}",
+        jsonEscape(name).c_str(), traceCategoryName(cat),
+        static_cast<unsigned long long>(start),
+        static_cast<unsigned long long>(end >= start ? end - start : 0),
+        pid, tid, argsField(args_json).c_str()));
+}
+
+void
+Trace::span(TraceCategory cat, int pid, int tid, const char *name,
+            std::uint64_t id, Cycle start, Cycle end,
+            const std::string &args_json)
+{
+    if (!json_ || !enabled(cat))
+        return;
+    const std::string escaped = jsonEscape(name);
+    const char *catname = traceCategoryName(cat);
+    emitJson(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"b\",\"id\":\"%llx\","
+        "\"ts\":%llu,\"pid\":%d,\"tid\":%d%s}",
+        escaped.c_str(), catname, static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(start), pid, tid,
+        argsField(args_json).c_str()));
+    emitJson(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"e\",\"id\":\"%llx\","
+        "\"ts\":%llu,\"pid\":%d,\"tid\":%d}",
+        escaped.c_str(), catname, static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(end), pid, tid));
+}
+
+void
+Trace::instant(TraceCategory cat, int pid, int tid, const char *name,
+               Cycle ts, const std::string &args_json)
+{
+    if (!json_ || !enabled(cat))
+        return;
+    emitJson(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":%llu,\"pid\":%d,\"tid\":%d%s}",
+        jsonEscape(name).c_str(), traceCategoryName(cat),
+        static_cast<unsigned long long>(ts), pid, tid,
+        argsField(args_json).c_str()));
+}
+
+void
+Trace::counter(TraceCategory cat, int pid, const char *name, Cycle ts,
+               double value)
+{
+    if (!json_ || !enabled(cat))
+        return;
+    emitJson(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%llu,"
+        "\"pid\":%d,\"args\":{\"value\":%g}}",
+        jsonEscape(name).c_str(), traceCategoryName(cat),
+        static_cast<unsigned long long>(ts), pid, value));
+}
+
+void
+Trace::nameProcess(int pid, const std::string &name)
+{
+    if (!json_)
+        return;
+    emitJson(strprintf(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, jsonEscape(name).c_str()));
+}
+
+void
+Trace::nameThread(int pid, int tid, const std::string &name)
+{
+    if (!json_)
+        return;
+    emitJson(strprintf(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, tid, jsonEscape(name).c_str()));
+}
+
+} // namespace rowsim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Runtime-gated, per-category trace facility.
+ *
+ * Inspired by gem5's DPRINTF flags and Chrome's trace-event format: every
+ * trace point belongs to a TraceCategory and compiles to a single branch
+ * on a category bitmask when tracing is off. Two sinks are supported and
+ * can be active simultaneously:
+ *
+ *  - a human-readable, cycle-stamped text log (stderr by default, or a
+ *    file via ROWSIM_TRACE_FILE), and
+ *  - a Chrome trace-event JSON writer (ROWSIM_TRACE_JSON; loadable in
+ *    Perfetto / chrome://tracing) rendering lock hold intervals, AQ
+ *    residency, directory Blocked-state windows and mesh message
+ *    lifetimes as duration events on named per-component tracks.
+ *
+ * Categories are selected with the ROWSIM_TRACE environment variable
+ * (comma-separated, e.g. ROWSIM_TRACE=atomic,coherence or "all") or
+ * programmatically via SystemParams::traceCategories.
+ */
+
+#ifndef ROWSIM_COMMON_TRACE_HH
+#define ROWSIM_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rowsim
+{
+
+/** One bit per subsystem; combined into the runtime trace mask. */
+enum class TraceCategory : std::uint32_t
+{
+    Pipeline  = 1u << 0, ///< dispatch / issue / commit / SB drain
+    Atomic    = 1u << 1, ///< atomic lifecycle: decision, lock, unlock
+    Coherence = 1u << 2, ///< L1/L2 fills, stalls, forced unlocks
+    Directory = 1u << 3, ///< Blocked windows, queued requests
+    Network   = 1u << 4, ///< message inject / deliver
+    Predictor = 1u << 5, ///< RoW predictions, outcomes, updates
+    Queue     = 1u << 6, ///< LQ / SQ / AQ allocate + free
+};
+
+constexpr std::uint32_t traceCategoryAll = (1u << 7) - 1;
+
+const char *traceCategoryName(TraceCategory c);
+
+/**
+ * Parse a comma-separated category list ("atomic,coherence", "all",
+ * "none") into a bitmask. Unknown names are a user error (fatal).
+ * An empty string yields 0 (tracing off).
+ */
+std::uint32_t parseTraceCategories(const std::string &spec);
+
+/** Chrome-trace process-id conventions (one "process" per component). */
+constexpr int tracePidDirBase = 1000; ///< directory bank b -> 1000 + b
+constexpr int tracePidNetwork = 2000; ///< the mesh
+
+/** Per-core thread-id conventions within a core's process. */
+constexpr int traceTidPipeline = 0;
+constexpr int traceTidAtomics = 1;
+constexpr int traceTidPredictor = 2;
+constexpr int traceTidCache = 3;
+
+class Trace
+{
+  public:
+    static Trace &instance();
+
+    /** Fast inline gates: one load + test, no function call. */
+    static bool anyEnabled() { return mask_ != 0; }
+    static bool
+    enabled(TraceCategory c)
+    {
+        return (mask_ & static_cast<std::uint32_t>(c)) != 0;
+    }
+
+    /**
+     * One-time initialisation from the environment (ROWSIM_TRACE,
+     * ROWSIM_TRACE_FILE, ROWSIM_TRACE_JSON); idempotent. System calls
+     * this at construction so env-var tracing works for every bench and
+     * example without code changes. When ROWSIM_TRACE selects categories
+     * and ROWSIM_TRACE_JSON is unset, the Chrome trace defaults to
+     * "rowsim.trace.json" in the working directory.
+     */
+    static void initFromEnv();
+
+    /** Programmatic configuration (tests, SystemParams). */
+    void configure(std::uint32_t mask) { mask_ = mask; }
+
+    /** Redirect the text sink. @p owned: close on replacement/exit. */
+    void setTextSink(std::FILE *f, bool owned);
+
+    /** Open the Chrome-trace JSON sink. @return false on I/O error. */
+    bool openJson(const std::string &path);
+    /** Write the JSON footer and close the sink (idempotent). */
+    void closeJson();
+    /** Flush + close every sink (called from the destructor). */
+    void closeAll();
+
+    /**
+     * The current simulated cycle, published by System::tick, so trace
+     * points in cycle-less helpers (queue allocate/free, predictors) can
+     * still stamp their events.
+     */
+    static Cycle now() { return now_; }
+    static void setNow(Cycle c) { now_ = c; }
+
+    /** Cycle-stamped printf-style text line. */
+    void text(TraceCategory cat, Cycle cycle, const char *fmt, ...)
+        __attribute__((format(printf, 4, 5)));
+
+    // ----- Chrome trace-event emission -------------------------------
+    // `args_json` is either empty or a complete JSON object, e.g.
+    // "{\"seq\":12}". Cycles map 1:1 to trace microseconds.
+
+    /** Complete ("X") duration event — for non-overlapping intervals on
+     *  one track (e.g. a core's sequential lock holds). */
+    void complete(TraceCategory cat, int pid, int tid, const char *name,
+                  Cycle start, Cycle end, const std::string &args_json = "");
+
+    /** Async ("b"/"e") duration pair — for intervals that may overlap on
+     *  a track (AQ residency, directory Blocked windows, messages). */
+    void span(TraceCategory cat, int pid, int tid, const char *name,
+              std::uint64_t id, Cycle start, Cycle end,
+              const std::string &args_json = "");
+
+    /** Instant ("i") event. */
+    void instant(TraceCategory cat, int pid, int tid, const char *name,
+                 Cycle ts, const std::string &args_json = "");
+
+    /** Counter ("C") event: one numeric series per (pid, name). */
+    void counter(TraceCategory cat, int pid, const char *name, Cycle ts,
+                 double value);
+
+    /** Name a Chrome-trace process / thread track (metadata events). */
+    void nameProcess(int pid, const std::string &name);
+    void nameThread(int pid, int tid, const std::string &name);
+
+    bool jsonOpen() const { return json_ != nullptr; }
+    std::uint64_t eventsEmitted() const { return events_; }
+
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+  private:
+    Trace() = default;
+    ~Trace();
+
+    void emitJson(const std::string &record);
+
+    // The mask and cycle are static so the inline gates touch no
+    // instance state (and need no instance() call).
+    static inline std::uint32_t mask_ = 0;
+    static inline Cycle now_ = 0;
+
+    std::FILE *textSink_ = nullptr; ///< nullptr -> stderr
+    bool ownTextSink_ = false;
+    std::FILE *json_ = nullptr;
+    bool jsonFirst_ = true;
+    std::uint64_t events_ = 0;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Trace-point macros. All of them compile to one branch on the category
+ * mask when tracing is off; argument expressions (including strprintf
+ * calls building args) are only evaluated when the category is live.
+ */
+#define ROWSIM_TRACE(cat, cycle, ...)                                     \
+    do {                                                                  \
+        if (::rowsim::Trace::enabled(cat))                                \
+            ::rowsim::Trace::instance().text((cat), (cycle),              \
+                                             __VA_ARGS__);                \
+    } while (0)
+
+/** Like ROWSIM_TRACE but stamped with Trace::now() (for call sites with
+ *  no cycle in scope). */
+#define ROWSIM_TRACE_AT(cat, ...)                                         \
+    do {                                                                  \
+        if (::rowsim::Trace::enabled(cat))                                \
+            ::rowsim::Trace::instance().text(                             \
+                (cat), ::rowsim::Trace::now(), __VA_ARGS__);              \
+    } while (0)
+
+#define ROWSIM_TRACE_COMPLETE(cat, pid, tid, name, start, end, args)      \
+    do {                                                                  \
+        if (::rowsim::Trace::enabled(cat))                                \
+            ::rowsim::Trace::instance().complete(                         \
+                (cat), (pid), (tid), (name), (start), (end), (args));     \
+    } while (0)
+
+#define ROWSIM_TRACE_SPAN(cat, pid, tid, name, id, start, end, args)      \
+    do {                                                                  \
+        if (::rowsim::Trace::enabled(cat))                                \
+            ::rowsim::Trace::instance().span((cat), (pid), (tid), (name), \
+                                             (id), (start), (end),        \
+                                             (args));                     \
+    } while (0)
+
+#define ROWSIM_TRACE_INSTANT(cat, pid, tid, name, ts, args)               \
+    do {                                                                  \
+        if (::rowsim::Trace::enabled(cat))                                \
+            ::rowsim::Trace::instance().instant((cat), (pid), (tid),      \
+                                                (name), (ts), (args));    \
+    } while (0)
+
+#define ROWSIM_TRACE_COUNTER(cat, pid, name, ts, value)                   \
+    do {                                                                  \
+        if (::rowsim::Trace::enabled(cat))                                \
+            ::rowsim::Trace::instance().counter((cat), (pid), (name),     \
+                                                (ts), (value));           \
+    } while (0)
+
+} // namespace rowsim
+
+#endif // ROWSIM_COMMON_TRACE_HH

@@ -1,6 +1,7 @@
 #include "cpu/atomic_queue.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace rowsim
 {
@@ -24,6 +25,10 @@ AtomicQueue::allocate(SeqNum seq, Addr pc, Cycle now)
     e.dispatchCycle = now;
     tailIdx = (tailIdx + 1) % capacity;
     count++;
+    ROWSIM_TRACE(TraceCategory::Queue, now,
+                 "aq alloc seq=%llu pc=%#llx occ=%u/%u",
+                 static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(pc), count, capacity);
     return idx;
 }
 
@@ -46,6 +51,8 @@ AtomicQueue::freeHead(SeqNum seq)
     e.valid = false;
     headIdx = (headIdx + 1) % capacity;
     count--;
+    ROWSIM_TRACE_AT(TraceCategory::Queue, "aq free seq=%llu occ=%u/%u",
+                    static_cast<unsigned long long>(seq), count, capacity);
 }
 
 bool

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "mem/memsystem.hh"
 
 namespace rowsim
@@ -43,6 +44,7 @@ Core::Core(CoreId id, const CoreParams &p, PrivateCache *c,
       stats_(strprintf("core%u", id))
 {
     cache->setClient(this);
+    rowPredictor.setCoreId(id);
 }
 
 Core::RobEntry &
@@ -184,6 +186,11 @@ Core::acquireLock(RobEntry &e, FillSource source, Cycle now)
     a.locked = true;
     a.lockCycle = now;
     a.lockSource = source;
+    ROWSIM_TRACE(TraceCategory::Atomic, now,
+                 "core%u lock seq=%llu line=%#llx source=%d", coreId,
+                 static_cast<unsigned long long>(e.seq),
+                 static_cast<unsigned long long>(a.line()),
+                 static_cast<int>(source));
 
     // Directory latency detector (§IV-C): a fill from a remote private
     // cache whose 14-bit-wrapped latency exceeds the threshold means the
@@ -331,6 +338,16 @@ Core::tryForceUnlock(Addr line, Cycle now)
     l.completed = false;
     waiting.push_back(seq);
     stats_.counter("forcedUnlocks")++;
+    ROWSIM_TRACE(TraceCategory::Atomic, now,
+                 "core%u forcedUnlock seq=%llu line=%#llx (replaying lazy)",
+                 coreId, static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(lineAlign(line)));
+    ROWSIM_TRACE_INSTANT(
+        TraceCategory::Atomic, static_cast<int>(coreId), traceTidAtomics,
+        "forcedUnlock", now,
+        strprintf("{\"seq\":%llu,\"line\":\"%#llx\"}",
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(lineAlign(line))));
     return true;
 }
 
@@ -441,10 +458,34 @@ Core::atomicUnlock(SeqNum seq, Cycle now)
             .sample(static_cast<double>(now - a.lockCycle));
         stats_.average("atomicDispatchToUnlock")
             .sample(static_cast<double>(now - a.dispatchCycle));
+        // Chrome trace: the lock hold interval (sequential per core) and
+        // the atomic's whole AQ residency (overlapping -> async span).
+        ROWSIM_TRACE_COMPLETE(
+            TraceCategory::Atomic, static_cast<int>(coreId),
+            traceTidAtomics, "lock", a.lockCycle, now,
+            strprintf("{\"seq\":%llu,\"line\":\"%#llx\",\"contended\":%d,"
+                      "\"oracle\":%d}",
+                      static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(line),
+                      contended ? 1 : 0, a.oracleContended ? 1 : 0));
+        ROWSIM_TRACE_SPAN(
+            TraceCategory::Atomic, static_cast<int>(coreId),
+            traceTidAtomics, "aqResidency", seq, a.dispatchCycle, now,
+            strprintf("{\"seq\":%llu,\"lazy\":%d}",
+                      static_cast<unsigned long long>(seq),
+                      a.predictedContended ? 1 : 0));
     }
+    ROWSIM_TRACE(TraceCategory::Atomic, now,
+                 "core%u unlock seq=%llu line=%#llx held=%llu "
+                 "contended=%d oracle=%d",
+                 coreId, static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(line),
+                 static_cast<unsigned long long>(
+                     a.lockCycle == invalidCycle ? 0 : now - a.lockCycle),
+                 contended ? 1 : 0, a.oracleContended ? 1 : 0);
 
     if (params.atomicPolicy == AtomicPolicy::RoW)
-        rowPredictor.update(a.pc, contended);
+        rowPredictor.update(a.pc, contended, now);
     if (params.atomicPolicy == AtomicPolicy::Fenced)
         memBarriers.erase(seq);
 
@@ -537,6 +578,11 @@ Core::drainStores(Cycle now)
     if (h && h->committed && !h->written && !h->writeInFlight &&
         !h->isAtomic) {
         h->writeInFlight = true;
+        ROWSIM_TRACE(TraceCategory::Pipeline, now,
+                     "core%u sb-drain seq=%llu addr=%#llx occ=%u",
+                     coreId, static_cast<unsigned long long>(h->seq),
+                     static_cast<unsigned long long>(h->addr),
+                     sq.size());
         MemAccess a;
         a.addr = h->addr;
         a.token = sbWriteToken | sq.indexOf(h);
@@ -680,6 +726,12 @@ Core::atomicExecute(RobEntry &e, Cycle now)
             l.fwdFrom = src->seq;
             scheduleCompletion(e.seq, now + 2);
             stats_.counter("atomicsForwarded")++;
+            ROWSIM_TRACE(TraceCategory::Atomic, now,
+                         "core%u forwarded seq=%llu line=%#llx from "
+                         "store seq=%llu",
+                         coreId, static_cast<unsigned long long>(e.seq),
+                         static_cast<unsigned long long>(a.line()),
+                         static_cast<unsigned long long>(src->seq));
             return true;
         }
         // Atomicity: must read the post-store value from the cache.
@@ -694,6 +746,11 @@ Core::atomicExecute(RobEntry &e, Cycle now)
     }
     stats_.counter(e.lazySelected ? "atomicsIssuedLazy"
                                   : "atomicsIssuedEager")++;
+    ROWSIM_TRACE(TraceCategory::Atomic, now,
+                 "core%u issue seq=%llu line=%#llx mode=%s",
+                 coreId, static_cast<unsigned long long>(e.seq),
+                 static_cast<unsigned long long>(a.line()),
+                 e.lazySelected ? "lazy" : "eager");
 
     a.issuedCycle14 = static_cast<std::uint16_t>(
         now & ((1u << params.row.timestampBits) - 1));
@@ -1074,6 +1131,17 @@ Core::dispatchStage(Cycle now)
             stats_.counter("atomicsDispatched")++;
             if (e.lazySelected)
                 stats_.counter("atomicsPredictedContended")++;
+            ROWSIM_TRACE(TraceCategory::Atomic, now,
+                         "core%u dispatch seq=%llu pc=%#llx policy=%s",
+                         coreId, static_cast<unsigned long long>(seq),
+                         static_cast<unsigned long long>(e.op.pc),
+                         e.lazySelected ? "lazy" : "eager");
+            ROWSIM_TRACE_INSTANT(
+                TraceCategory::Atomic, static_cast<int>(coreId),
+                traceTidAtomics, "dispatch", now,
+                strprintf("{\"seq\":%llu,\"policy\":\"%s\"}",
+                          static_cast<unsigned long long>(seq),
+                          e.lazySelected ? "lazy" : "eager"));
             break;
           }
           case OpClass::Fence:

@@ -1,6 +1,7 @@
 #include "cpu/lsq.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace rowsim
 {
@@ -22,6 +23,8 @@ LoadQueue::allocate(SeqNum seq, bool is_atomic)
     e.isAtomic = is_atomic;
     tailIdx = (tailIdx + 1) % capacity;
     count++;
+    ROWSIM_TRACE_AT(TraceCategory::Queue, "lq alloc seq=%llu occ=%u/%u",
+                    static_cast<unsigned long long>(seq), count, capacity);
     return idx;
 }
 
@@ -34,6 +37,8 @@ LoadQueue::freeHead(SeqNum seq)
     e.valid = false;
     headIdx = (headIdx + 1) % capacity;
     count--;
+    ROWSIM_TRACE_AT(TraceCategory::Queue, "lq free seq=%llu occ=%u/%u",
+                    static_cast<unsigned long long>(seq), count, capacity);
 }
 
 SeqNum
@@ -65,6 +70,8 @@ StoreQueue::allocate(SeqNum seq, bool is_atomic)
     e.isAtomic = is_atomic;
     tailIdx = (tailIdx + 1) % capacity;
     count++;
+    ROWSIM_TRACE_AT(TraceCategory::Queue, "sq alloc seq=%llu occ=%u/%u",
+                    static_cast<unsigned long long>(seq), count, capacity);
     return idx;
 }
 
@@ -77,6 +84,8 @@ StoreQueue::freeHead(SeqNum seq)
     e.valid = false;
     headIdx = (headIdx + 1) % capacity;
     count--;
+    ROWSIM_TRACE_AT(TraceCategory::Queue, "sq free seq=%llu occ=%u/%u",
+                    static_cast<unsigned long long>(seq), count, capacity);
 }
 
 SqEntry *

@@ -1,6 +1,7 @@
 #include "mem/directory.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace rowsim
 {
@@ -171,7 +172,12 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
 
     e.state = DirState::Blocked;
     e.txnRequester = req;
+    e.blockedSince = now;
     blockedLines++;
+    ROWSIM_TRACE(TraceCategory::Directory, now,
+                 "dir%u block line=%#llx %s from core%u queued=%zu",
+                 bankIndex, static_cast<unsigned long long>(line),
+                 msgTypeName(msg.type), req, e.queued.size());
     maybeSendData(e, now);
 }
 
@@ -181,6 +187,22 @@ Directory::finishTxn(Entry &e, Addr line, Cycle now)
     ROWSIM_ASSERT(e.state == DirState::Blocked,
                   "Unblock on unblocked line %#lx",
                   static_cast<unsigned long>(line));
+    if (e.blockedSince != invalidCycle) {
+        // Async span: several lines can be Blocked at one bank at once.
+        ROWSIM_TRACE_SPAN(
+            TraceCategory::Directory,
+            tracePidDirBase + static_cast<int>(bankIndex), 0, "blocked",
+            line, e.blockedSince, now,
+            strprintf("{\"line\":\"%#llx\",\"requester\":%u,\"queued\":%zu}",
+                      static_cast<unsigned long long>(line),
+                      e.txnRequester, e.queued.size()));
+        ROWSIM_TRACE(TraceCategory::Directory, now,
+                     "dir%u unblock line=%#llx blocked=%llu queued=%zu",
+                     bankIndex, static_cast<unsigned long long>(line),
+                     static_cast<unsigned long long>(now - e.blockedSince),
+                     e.queued.size());
+        e.blockedSince = invalidCycle;
+    }
     e.state = e.nextState;
     e.owner = e.nextOwner;
     e.sharers = e.nextSharers;
@@ -224,6 +246,12 @@ Directory::deliver(const Msg &msg, Cycle now)
             stats_.counter("queuedRequests")++;
             stats_.average("queueDepth").sample(
                 static_cast<double>(e.queued.size()));
+            ROWSIM_TRACE(TraceCategory::Directory, now,
+                         "dir%u queue line=%#llx %s from core%u depth=%zu",
+                         bankIndex,
+                         static_cast<unsigned long long>(msg.line),
+                         msgTypeName(msg.type), msg.requester,
+                         e.queued.size());
         } else {
             processRequest(e, msg, now);
         }

@@ -83,6 +83,8 @@ class Directory : public MsgHandler
         /** Data message to emit once acks are in and data is ready. */
         bool dataPending = false;
         Msg dataMsg;
+        /** Cycle the entry entered Blocked (trace Blocked windows). */
+        Cycle blockedSince = invalidCycle;
 
         std::deque<Msg> queued;
     };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "mem/memsystem.hh"
 
 namespace rowsim
@@ -105,6 +106,10 @@ PrivateCache::access(const MemAccess &a, Cycle now)
 
     // Miss (or S->M upgrade).
     stats_.counter("l1Misses")++;
+    ROWSIM_TRACE(TraceCategory::Coherence, now,
+                 "l1d%u miss line=%#llx excl=%d atomic=%d", coreId,
+                 static_cast<unsigned long long>(line),
+                 a.needExclusive ? 1 : 0, a.isAtomic ? 1 : 0);
     MshrWaiter w;
     w.token = a.token;
     w.requestCycle = now;
@@ -234,6 +239,14 @@ PrivateCache::handleFill(const Msg &msg, Cycle now)
         src = FillSource::RemoteCache;
     else if (msg.fromMemory)
         src = FillSource::Memory;
+    ROWSIM_TRACE(TraceCategory::Coherence, now,
+                 "l1d%u fill line=%#llx state=%s from=%s latency=%llu",
+                 coreId, static_cast<unsigned long long>(line),
+                 state == CacheState::Modified ? "M" : "S",
+                 msg.fromPrivateCache ? "remote-cache"
+                 : msg.fromMemory    ? "memory"
+                                     : "llc",
+                 static_cast<unsigned long long>(now - m.netIssueCycle));
 
     std::vector<MshrWaiter> still_waiting;
     for (const auto &w : m.waiters) {
@@ -344,6 +357,12 @@ PrivateCache::deliver(const Msg &msg, Cycle now)
         if (client->lineLocked(msg.line)) {
             stalledExternals.push_back({msg, now});
             stats_.counter("lockStalledExternals")++;
+            ROWSIM_TRACE(TraceCategory::Coherence, now,
+                         "l1d%u external %s stalled on locked line=%#llx "
+                         "from core%u",
+                         coreId, msgTypeName(msg.type),
+                         static_cast<unsigned long long>(msg.line),
+                         msg.requester);
         } else {
             applyExternal(msg, now);
         }
@@ -365,9 +384,17 @@ PrivateCache::unlockNotify(Addr line, Cycle now)
     for (auto it = stalledExternals.begin(); it != stalledExternals.end();) {
         if (it->msg.line == line && !client->lineLocked(line)) {
             Msg m = it->msg;
+            const Cycle arrival = it->arrival;
             it = stalledExternals.erase(it);
             stats_.average("lockStallCycles").sample(
                 static_cast<double>(now - m.sent));
+            ROWSIM_TRACE_COMPLETE(
+                TraceCategory::Coherence, static_cast<int>(coreId),
+                traceTidCache, "lockStall", arrival, now,
+                strprintf("{\"line\":\"%#llx\",\"type\":\"%s\","
+                          "\"requester\":%u}",
+                          static_cast<unsigned long long>(m.line),
+                          msgTypeName(m.type), m.requester));
             applyExternal(m, now);
         } else {
             ++it;
@@ -410,8 +437,22 @@ PrivateCache::tick(Cycle now)
             if (now - it->arrival > lockStealThreshold &&
                 client->tryForceUnlock(it->msg.line, now)) {
                 Msg m = it->msg;
+                const Cycle arrival = it->arrival;
                 it = stalledExternals.erase(it);
                 stats_.counter("lockSteals")++;
+                ROWSIM_TRACE(TraceCategory::Coherence, now,
+                             "l1d%u lock steal line=%#llx after %llu "
+                             "stalled cycles (requester core%u)",
+                             coreId,
+                             static_cast<unsigned long long>(m.line),
+                             static_cast<unsigned long long>(now - arrival),
+                             m.requester);
+                ROWSIM_TRACE_INSTANT(
+                    TraceCategory::Coherence, static_cast<int>(coreId),
+                    traceTidCache, "lockSteal", now,
+                    strprintf("{\"line\":\"%#llx\",\"requester\":%u}",
+                              static_cast<unsigned long long>(m.line),
+                              m.requester));
                 applyExternal(m, now);
             } else {
                 ++it;

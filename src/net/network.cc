@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace rowsim
 {
@@ -99,6 +100,9 @@ Network::send(Msg msg, Cycle now)
     inFlight.push({due, nextOrder++, msg});
     stats_.counter("messages")++;
     stats_.average("hops").sample(hops(msg.src, msg.dst));
+    ROWSIM_TRACE(TraceCategory::Network, now, "inject %s due=%llu",
+                 msg.toString().c_str(),
+                 static_cast<unsigned long long>(due));
 }
 
 void
@@ -110,6 +114,17 @@ Network::tick(Cycle now)
         MsgHandler *h = handlers[p.msg.dst];
         ROWSIM_ASSERT(h != nullptr, "no handler attached at node %u",
                       p.msg.dst);
+        ROWSIM_TRACE(TraceCategory::Network, now, "deliver %s",
+                     p.msg.toString().c_str());
+        // One async span per message lifetime; the order counter makes a
+        // unique id so concurrent messages nest correctly.
+        ROWSIM_TRACE_SPAN(TraceCategory::Network, tracePidNetwork, 0,
+                          msgTypeName(p.msg.type), p.order, p.msg.sent, now,
+                          strprintf("{\"line\":\"%#llx\",\"src\":%u,"
+                                    "\"dst\":%u}",
+                                    static_cast<unsigned long long>(
+                                        p.msg.line),
+                                    p.msg.src, p.msg.dst));
         h->deliver(p.msg, now);
     }
 }

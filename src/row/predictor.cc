@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace rowsim
 {
@@ -36,7 +37,7 @@ ContentionPredictor::predictContended(Addr pc) const
 }
 
 void
-ContentionPredictor::update(Addr pc, bool contended)
+ContentionPredictor::update(Addr pc, bool contended, Cycle now)
 {
     const bool predicted = predictContended(pc);
     stats_.counter("updates")++;
@@ -46,6 +47,20 @@ ContentionPredictor::update(Addr pc, bool contended)
         stats_.counter("contendedOutcomes")++;
 
     std::uint8_t &ctr = table[index(pc)];
+    ROWSIM_TRACE(TraceCategory::Predictor, now,
+                 "core%u predictor pc=%#llx idx=%u ctr=%u predicted=%d "
+                 "actual=%d", coreId_,
+                 static_cast<unsigned long long>(pc), index(pc),
+                 static_cast<unsigned>(ctr), predicted ? 1 : 0,
+                 contended ? 1 : 0);
+    if (predicted != contended) {
+        ROWSIM_TRACE_INSTANT(
+            TraceCategory::Predictor, static_cast<int>(coreId_),
+            traceTidPredictor, "mispredict", now,
+            strprintf("{\"pc\":\"%#llx\",\"predicted\":%d,\"actual\":%d}",
+                      static_cast<unsigned long long>(pc),
+                      predicted ? 1 : 0, contended ? 1 : 0));
+    }
     if (contended) {
         switch (cfg.update) {
           case PredictorUpdate::SaturateOnContention:

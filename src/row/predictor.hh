@@ -28,8 +28,12 @@ class ContentionPredictor
     bool predictContended(Addr pc) const;
 
     /** Train with the observed outcome when the atomic unlocks its line.
-     *  Also records prediction-accuracy statistics (Fig. 12). */
-    void update(Addr pc, bool contended);
+     *  Also records prediction-accuracy statistics (Fig. 12). @p now is
+     *  the training cycle, used only for trace timestamps. */
+    void update(Addr pc, bool contended, Cycle now = 0);
+
+    /** Owning core's id — only used to label trace events. */
+    void setCoreId(CoreId id) { coreId_ = id; }
 
     /** Storage cost in bits (64 bytes total for RoW per §IV-F, of which
      *  this table is 256 bits). */
@@ -48,6 +52,7 @@ class ContentionPredictor
     RowConfig cfg;
     unsigned maxCounter;
     unsigned threshold;
+    CoreId coreId_ = 0;
     std::vector<std::uint8_t> table;
 
     StatGroup stats_;

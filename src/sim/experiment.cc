@@ -1,11 +1,62 @@
 #include "sim/experiment.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
 #include "sim/profiles.hh"
 #include "sim/system.hh"
 #include "sim/workloads.hh"
 
 namespace rowsim
 {
+
+std::string
+RunResult::toJson() const
+{
+    return strprintf(
+        "{\"workload\":\"%s\",\"config\":\"%s\",\"cycles\":%llu,"
+        "\"instructions\":%llu,\"atomicsCommitted\":%llu,"
+        "\"atomicsPer10k\":%.4f,\"atomicsUnlocked\":%llu,"
+        "\"detectedContended\":%llu,\"oracleContended\":%llu,"
+        "\"contendedPct\":%.4f,\"missLatency\":%.4f,"
+        "\"dispatchToIssue\":%.4f,\"issueToLock\":%.4f,"
+        "\"lockToUnlock\":%.4f,\"olderUnexecuted\":%.4f,"
+        "\"youngerStarted\":%.4f,\"predAccuracy\":%.4f,"
+        "\"atomicsForwarded\":%llu,\"atomicsPromoted\":%llu,"
+        "\"forcedUnlocks\":%llu,\"eagerIssued\":%llu,\"lazyIssued\":%llu}",
+        workload.c_str(), config.c_str(),
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(instructions),
+        static_cast<unsigned long long>(atomicsCommitted), atomicsPer10k,
+        static_cast<unsigned long long>(atomicsUnlocked),
+        static_cast<unsigned long long>(detectedContended),
+        static_cast<unsigned long long>(oracleContended), contendedPct,
+        missLatency, dispatchToIssue, issueToLock, lockToUnlock,
+        olderUnexecuted, youngerStarted, predAccuracy,
+        static_cast<unsigned long long>(atomicsForwarded),
+        static_cast<unsigned long long>(atomicsPromoted),
+        static_cast<unsigned long long>(forcedUnlocks),
+        static_cast<unsigned long long>(eagerIssued),
+        static_cast<unsigned long long>(lazyIssued));
+}
+
+void
+writeRunReport(const RunResult &r, const std::string &path)
+{
+    const std::string line = r.toJson();
+    if (path == "-") {
+        std::fprintf(stdout, "%s\n", line.c_str());
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        ROWSIM_WARN("cannot open run report file '%s'", path.c_str());
+        return;
+    }
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+}
 
 ExpConfig
 eagerConfig(bool forwarding)
@@ -163,6 +214,28 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     r.forcedUnlocks = sys.totalCounter("forcedUnlocks");
     r.eagerIssued = sys.totalCounter("atomicsIssuedEager");
     r.lazyIssued = sys.totalCounter("atomicsIssuedLazy");
+
+    // ROWSIM_REPORT=<path>: append a one-line JSON report per run (any
+    // bench or test), "-" for stdout. Lets figure scripts collect every
+    // run without touching the harness call sites.
+    if (const char *report = std::getenv("ROWSIM_REPORT");
+        report && *report) {
+        writeRunReport(r, report);
+    }
+    // ROWSIM_STATS_JSON=<path>: the full stats tree (every group's
+    // counters/averages/formulas + interval series) of the most recent
+    // run, "-" for stdout.
+    if (const char *stats = std::getenv("ROWSIM_STATS_JSON");
+        stats && *stats) {
+        if (std::string(stats) == "-") {
+            sys.dumpStatsJson(stdout);
+        } else if (std::FILE *f = std::fopen(stats, "w")) {
+            sys.dumpStatsJson(f);
+            std::fclose(f);
+        } else {
+            ROWSIM_WARN("cannot open stats JSON file '%s'", stats);
+        }
+    }
     return r;
 }
 

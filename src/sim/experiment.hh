@@ -68,7 +68,13 @@ struct RunResult
     std::uint64_t forcedUnlocks = 0;
     std::uint64_t eagerIssued = 0;
     std::uint64_t lazyIssued = 0;
+
+    /** One-line JSON object with every field above (run reports). */
+    std::string toJson() const;
 };
+
+/** Append @p r as one JSON line to @p path ("-" = stdout). */
+void writeRunReport(const RunResult &r, const std::string &path);
 
 /** Standard configurations used across the figures. */
 ExpConfig eagerConfig(bool forwarding = false);

@@ -202,6 +202,18 @@ buildTable()
     }
     {
         WorkloadProfile p;
+        p.name = "counter"; // one shared counter, all cores (Fig. 2 shape)
+        p.sharedAtomicWords = 1;
+        p.loadsBefore = 4;
+        p.loadsAfter = 4;
+        p.privateLines = 1ULL << 15;
+        p.aluOps = 8;
+        p.fillerAlu = 40;
+        p.storesPerIter = 1;
+        add(p);
+    }
+    {
+        WorkloadProfile p;
         p.name = "pc"; // producer/consumer head+tail counters
         p.sharedAtomicWords = 2;
         p.loadsBefore = 4;
@@ -289,7 +301,8 @@ defaultQuota(const std::string &name)
         {"barnes", 100},    {"tatp", 80},           {"volrend", 60},
         {"fmm", 50},        {"radiosity", 50},      {"streamcluster", 120},
         {"raytrace", 100},  {"tpcc", 120},          {"sps", 150},
-        {"pc", 150},        {"blackscholes", 40},   {"swaptions", 40},
+        {"pc", 150},        {"counter", 150},       {"blackscholes", 40},
+        {"swaptions", 40},
         {"bodytrack", 40},  {"fluidanimate", 40},   {"ocean", 40},
         {"fft", 40},
     };

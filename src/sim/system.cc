@@ -1,6 +1,9 @@
 #include "sim/system.hh"
 
+#include <cstdlib>
+
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace rowsim
 {
@@ -33,15 +36,103 @@ System::System(const SystemParams &params,
                     cores[holder]->oracleContentionHint(line, now);
             });
     }
+
+    setupObservability();
+}
+
+void
+System::setupObservability()
+{
+    // Tracing: env vars first (so every bench/example picks them up),
+    // then explicit SystemParams overrides.
+    Trace::initFromEnv();
+    if (!params_.traceCategories.empty()) {
+        Trace::instance().configure(
+            parseTraceCategories(params_.traceCategories));
+    }
+    if (Trace::anyEnabled() && !params_.traceJsonPath.empty() &&
+        !Trace::instance().jsonOpen()) {
+        Trace::instance().openJson(params_.traceJsonPath);
+    }
+    if (Trace::instance().jsonOpen()) {
+        Trace &t = Trace::instance();
+        for (CoreId c = 0; c < params_.numCores; c++) {
+            const int pid = static_cast<int>(c);
+            t.nameProcess(pid, strprintf("core%u", c));
+            t.nameThread(pid, traceTidPipeline, "pipeline");
+            t.nameThread(pid, traceTidAtomics, "atomics");
+            t.nameThread(pid, traceTidPredictor, "predictor");
+            t.nameThread(pid, traceTidCache, "l1d");
+        }
+        for (unsigned b = 0; b < memsys.numBanks(); b++)
+            t.nameProcess(tracePidDirBase + static_cast<int>(b),
+                          strprintf("dir%u", b));
+        t.nameProcess(tracePidNetwork, "network");
+    }
+
+    // Interval sampler: params override, then env var.
+    Cycle period = params_.statsInterval;
+    if (period == 0) {
+        if (const char *env = std::getenv("ROWSIM_STATS_INTERVAL");
+            env && *env) {
+            period = std::strtoull(env, nullptr, 10);
+        }
+    }
+    intervalStats_.configure(period);
+    intervalStats_.addProbe(
+        "instructions",
+        [this] { return static_cast<double>(totalInstructions()); }, true);
+    intervalStats_.addProbe(
+        "atomics",
+        [this] { return static_cast<double>(totalAtomics()); }, true);
+    intervalStats_.addProbe(
+        "contendedAtomics",
+        [this] {
+            return static_cast<double>(
+                totalCounter("atomicsDetectedContended"));
+        },
+        true);
+    intervalStats_.addProbe(
+        "lazyIssued",
+        [this] {
+            return static_cast<double>(totalCounter("atomicsIssuedLazy"));
+        },
+        true);
+
+    // Derived whole-system statistics (Formula exercising).
+    simStats_.formula("ipc") = [this] {
+        return currentCycle
+                   ? static_cast<double>(totalInstructions()) /
+                         static_cast<double>(currentCycle)
+                   : 0.0;
+    };
+    simStats_.formula("atomicsPer10k") = [this] {
+        const double insts = static_cast<double>(totalInstructions());
+        return insts ? 1e4 * static_cast<double>(totalAtomics()) / insts
+                     : 0.0;
+    };
+    simStats_.formula("contendedPct") = [this] {
+        const double unlocked =
+            static_cast<double>(totalCounter("atomicsUnlocked"));
+        return unlocked ? 100.0 *
+                              static_cast<double>(totalCounter(
+                                  "atomicsOracleContended")) /
+                              unlocked
+                        : 0.0;
+    };
 }
 
 void
 System::tick()
 {
     currentCycle++;
+    if (Trace::anyEnabled())
+        Trace::setNow(currentCycle);
     memsys.tick(currentCycle);
     for (auto &c : cores)
         c->tick(currentCycle);
+    if (intervalStats_.enabled())
+        intervalStats_.tick(currentCycle);
 }
 
 Cycle
@@ -119,6 +210,41 @@ dumpGroup(std::FILE *out, StatGroup &g)
                      kv.second.mean(), kv.second.min(), kv.second.max(),
                      static_cast<unsigned long long>(kv.second.count()));
     }
+    for (const auto &kv : g.formulas()) {
+        std::fprintf(out, "%s.%s %.4f\n", g.name().c_str(),
+                     kv.first.c_str(), kv.second.value());
+    }
+}
+
+void
+dumpGroupJson(std::FILE *out, StatGroup &g, bool &first_group)
+{
+    if (!first_group)
+        std::fprintf(out, ",\n");
+    first_group = false;
+    std::fprintf(out, "    \"%s\": {", g.name().c_str());
+    bool first = true;
+    for (const auto &kv : g.counters()) {
+        std::fprintf(out, "%s\"%s\": %llu", first ? "" : ", ",
+                     kv.first.c_str(),
+                     static_cast<unsigned long long>(kv.second.value()));
+        first = false;
+    }
+    for (const auto &kv : g.averages()) {
+        std::fprintf(out,
+                     "%s\"%s\": {\"mean\": %.6g, \"min\": %.6g, "
+                     "\"max\": %.6g, \"count\": %llu}",
+                     first ? "" : ", ", kv.first.c_str(),
+                     kv.second.mean(), kv.second.min(), kv.second.max(),
+                     static_cast<unsigned long long>(kv.second.count()));
+        first = false;
+    }
+    for (const auto &kv : g.formulas()) {
+        std::fprintf(out, "%s\"%s\": %.6g", first ? "" : ", ",
+                     kv.first.c_str(), kv.second.value());
+        first = false;
+    }
+    std::fprintf(out, "}");
 }
 } // namespace
 
@@ -132,6 +258,7 @@ System::dumpStats(std::FILE *out) const
                  static_cast<unsigned long long>(totalInstructions()));
     std::fprintf(out, "sim.atomics %llu\n",
                  static_cast<unsigned long long>(totalAtomics()));
+    dumpGroup(out, self.simStats_);
     for (CoreId c = 0; c < cores.size(); c++) {
         dumpGroup(out, self.core(c).stats());
         dumpGroup(out, self.core(c).branchPredictor().stats());
@@ -141,6 +268,59 @@ System::dumpStats(std::FILE *out) const
     for (unsigned b = 0; b < self.mem().numBanks(); b++)
         dumpGroup(out, self.mem().directory(b).stats());
     dumpGroup(out, self.mem().network().stats());
+}
+
+void
+System::dumpStatsJson(std::FILE *out) const
+{
+    auto &self = const_cast<System &>(*this);
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"cycles\": %llu,\n",
+                 static_cast<unsigned long long>(currentCycle));
+    std::fprintf(out, "  \"instructions\": %llu,\n",
+                 static_cast<unsigned long long>(totalInstructions()));
+    std::fprintf(out, "  \"atomics\": %llu,\n",
+                 static_cast<unsigned long long>(totalAtomics()));
+    std::fprintf(out, "  \"numCores\": %u,\n", numCores());
+
+    std::fprintf(out, "  \"groups\": {\n");
+    bool first_group = true;
+    dumpGroupJson(out, self.simStats_, first_group);
+    for (CoreId c = 0; c < cores.size(); c++) {
+        dumpGroupJson(out, self.core(c).stats(), first_group);
+        dumpGroupJson(out, self.core(c).branchPredictor().stats(),
+                      first_group);
+        dumpGroupJson(out, self.core(c).predictor().stats(), first_group);
+        dumpGroupJson(out, self.mem().cache(c).stats(), first_group);
+    }
+    for (unsigned b = 0; b < self.mem().numBanks(); b++)
+        dumpGroupJson(out, self.mem().directory(b).stats(), first_group);
+    dumpGroupJson(out, self.mem().network().stats(), first_group);
+    std::fprintf(out, "\n  }");
+
+    if (intervalStats_.enabled()) {
+        std::fprintf(out, ",\n  \"intervals\": {\n");
+        std::fprintf(out, "    \"period\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         intervalStats_.period()));
+        std::fprintf(out, "    \"cycles\": [");
+        const auto &cyc = intervalStats_.sampleCycles();
+        for (std::size_t i = 0; i < cyc.size(); i++)
+            std::fprintf(out, "%s%llu", i ? ", " : "",
+                         static_cast<unsigned long long>(cyc[i]));
+        std::fprintf(out, "],\n    \"series\": {");
+        const auto &probes = intervalStats_.probes();
+        const auto &series = intervalStats_.series();
+        for (std::size_t p = 0; p < probes.size(); p++) {
+            std::fprintf(out, "%s\"%s\": [", p ? ", " : "",
+                         probes[p].name.c_str());
+            for (std::size_t i = 0; i < series[p].size(); i++)
+                std::fprintf(out, "%s%.6g", i ? ", " : "", series[p][i]);
+            std::fprintf(out, "]");
+        }
+        std::fprintf(out, "}\n  }");
+    }
+    std::fprintf(out, "\n}\n");
 }
 
 std::uint64_t

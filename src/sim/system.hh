@@ -59,6 +59,19 @@ class System
      *  gem5-style "group.stat value" format. */
     void dumpStats(std::FILE *out) const;
 
+    /** Dump the same statistics as one machine-readable JSON object:
+     *  sim totals, every group's counters/averages/formulas, and the
+     *  interval-stats time series when sampling is enabled. */
+    void dumpStatsJson(std::FILE *out) const;
+
+    /** Interval sampler (enabled via SystemParams::statsInterval or the
+     *  ROWSIM_STATS_INTERVAL env var; see common/stats.hh). */
+    IntervalStats &intervalStats() { return intervalStats_; }
+    const IntervalStats &intervalStats() const { return intervalStats_; }
+
+    /** System-level derived stats (ipc, contendedPct, ...). */
+    StatGroup &simStats() { return simStats_; }
+
     /** Sum of a per-core counter across all cores. */
     std::uint64_t totalCounter(const std::string &name) const;
     /** Count-weighted mean of a per-core Average across all cores. */
@@ -70,6 +83,8 @@ class System
 
   private:
     void tick();
+    /** Apply trace/interval-stats configuration (params + env vars). */
+    void setupObservability();
 
     SystemParams params_;
     MemSystem memsys;
@@ -79,6 +94,9 @@ class System
     Cycle currentCycle = 0;
     std::uint64_t lastProgressInsts = 0;
     Cycle lastProgressCycle = 0;
+
+    IntervalStats intervalStats_;
+    StatGroup simStats_{"sim"};
 };
 
 } // namespace rowsim
