@@ -183,6 +183,25 @@ struct SystemParams
     /** Interval-stats sampling period in cycles (0 = the
      *  ROWSIM_STATS_INTERVAL env var, or off). */
     Cycle statsInterval = 0;
+
+    // ---- self-checking & fault injection (src/sim/checker.hh,
+    // ---- src/sim/faults.hh) ----
+
+    /** Invariant-checker categories, same syntax as the ROWSIM_CHECK env
+     *  var ("swmr,locks", "all"; empty = env var / off). */
+    std::string checkCategories;
+    /** Cycles between whole-system checker sweeps (0 = the
+     *  ROWSIM_CHECK_INTERVAL env var, or 1024). */
+    Cycle checkInterval = 0;
+    /** Fault-injection categories, same syntax as the ROWSIM_FAULTS env
+     *  var ("netdelay,evict", "all"; empty = env var / off). */
+    std::string faultCategories;
+    /** Fault-injection RNG seed (0 = the ROWSIM_FAULTS_SEED env var, or
+     *  derived from `seed` — either way runs replay exactly). */
+    std::uint64_t faultSeed = 0;
+    /** Fault probability in events per 10k opportunities (0 = the
+     *  ROWSIM_FAULTS_RATE env var, or 50). */
+    unsigned faultRate = 0;
 };
 
 } // namespace rowsim

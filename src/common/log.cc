@@ -1,7 +1,11 @@
 #include "common/log.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace rowsim
 {
@@ -17,6 +21,16 @@ levelStorage()
         return env && *env ? parseLogLevel(env) : LogLevel::Info;
     }();
     return level;
+}
+
+using PanicHook =
+    std::pair<const void *, std::function<void(const std::string &)>>;
+
+std::vector<PanicHook> &
+panicHooks()
+{
+    static std::vector<PanicHook> hooks;
+    return hooks;
 }
 
 } // namespace
@@ -65,11 +79,66 @@ strprintf(const char *fmt, ...)
     return out;
 }
 
+std::uint64_t
+parseEnvU64(const char *name, const char *text)
+{
+    if (!text || !*text)
+        ROWSIM_FATAL("%s: empty value (expected a decimal number)", name);
+    for (const char *p = text; *p; p++) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            ROWSIM_FATAL("%s: malformed value '%s' (expected a decimal "
+                         "number)",
+                         name, text);
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || (end && *end))
+        ROWSIM_FATAL("%s: value '%s' out of range", name, text);
+    return static_cast<std::uint64_t>(v);
+}
+
+void
+pushPanicHook(const void *owner,
+              std::function<void(const std::string &)> hook)
+{
+    panicHooks().emplace_back(owner, std::move(hook));
+}
+
+void
+removePanicHook(const void *owner)
+{
+    auto &hooks = panicHooks();
+    for (auto it = hooks.begin(); it != hooks.end();) {
+        if (it->first == owner)
+            it = hooks.erase(it);
+        else
+            ++it;
+    }
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
+    // Crash diagnostics: let registered owners (Systems) dump their state
+    // before the stack unwinds and destroys it. A panic raised *while*
+    // dumping must not recurse into the hooks.
+    static bool inHook = false;
+    if (!inHook && !panicHooks().empty()) {
+        inHook = true;
+        auto hooks = panicHooks(); // copy: a hook may unregister itself
+        for (auto it = hooks.rbegin(); it != hooks.rend(); ++it) {
+            try {
+                it->second(msg);
+            } catch (...) {
+                std::fprintf(stderr,
+                             "panic: crash-diagnostics hook itself failed\n");
+            }
+        }
+        inHook = false;
+    }
     // Throw rather than abort so that death-style unit tests can observe
     // invariant violations without killing the test binary.
     throw std::logic_error("rowsim panic: " + msg);

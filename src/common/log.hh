@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace rowsim
@@ -18,6 +19,14 @@ namespace rowsim
 /** Printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Parse a numeric ROWSIM_* environment value. The full string must be
+ * decimal digits: "10k" or "" or an overflowing value is a user error
+ * (fatal), never a silent misparse. @p name is only used in the error
+ * message.
+ */
+std::uint64_t parseEnvU64(const char *name, const char *text);
 
 /**
  * Diagnostic verbosity. panic/fatal always print; warn() is emitted at
@@ -42,6 +51,17 @@ LogLevel parseLogLevel(const std::string &name);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/**
+ * Crash-diagnostics hooks: invoked (most recently registered first) with
+ * the panic message before panicImpl throws, so a System can dump its
+ * state while it is still intact. Re-entrant panics while a hook runs do
+ * not re-invoke hooks. @p owner keys deregistration (a System registers
+ * in its constructor and must remove the hook in its destructor).
+ */
+void pushPanicHook(const void *owner,
+                   std::function<void(const std::string &)> hook);
+void removePanicHook(const void *owner);
 
 /** Abort on a simulator bug: a condition that must never happen. */
 #define ROWSIM_PANIC(...) \

@@ -110,12 +110,16 @@ Trace::initFromEnv()
         return;
     done = true;
 
+    Trace &t = instance();
+    if (const char *ring = std::getenv("ROWSIM_TRACE_RING"); ring && *ring)
+        t.enableRing(static_cast<std::size_t>(
+            parseEnvU64("ROWSIM_TRACE_RING", ring)));
+
     const char *spec = std::getenv("ROWSIM_TRACE");
     if (!spec || !*spec)
         return;
-    Trace &t = instance();
     t.configure(parseTraceCategories(spec));
-    if (mask_ == 0)
+    if (sinkMask_ == 0)
         return;
 
     if (const char *path = std::getenv("ROWSIM_TRACE_FILE");
@@ -182,6 +186,30 @@ Trace::emitJson(const std::string &record)
 }
 
 void
+Trace::enableRing(std::size_t capacity)
+{
+    ringCap_ = capacity;
+    ringNext_ = 0;
+    ringCount_ = 0;
+    ring_.assign(ringCap_, std::string());
+    ringMask_ = ringCap_ ? traceCategoryAll : 0;
+    mask_ = sinkMask_ | ringMask_;
+}
+
+std::vector<std::string>
+Trace::ringSnapshot() const
+{
+    std::vector<std::string> out;
+    out.reserve(ringCount_);
+    // Oldest first: the slot at ringNext_ is the oldest once full.
+    const std::size_t start =
+        ringCount_ == ringCap_ ? ringNext_ : 0;
+    for (std::size_t i = 0; i < ringCount_; i++)
+        out.push_back(ring_[(start + i) % ringCap_]);
+    return out;
+}
+
+void
 Trace::text(TraceCategory cat, Cycle cycle, const char *fmt, ...)
 {
     if (!enabled(cat))
@@ -191,6 +219,16 @@ Trace::text(TraceCategory cat, Cycle cycle, const char *fmt, ...)
     char buf[512];
     std::vsnprintf(buf, sizeof(buf), fmt, args);
     va_end(args);
+    if (ringCap_ && (ringMask_ & static_cast<std::uint32_t>(cat))) {
+        ring_[ringNext_] = strprintf("%12llu [%s] %s",
+                                     static_cast<unsigned long long>(cycle),
+                                     traceCategoryName(cat), buf);
+        ringNext_ = (ringNext_ + 1) % ringCap_;
+        if (ringCount_ < ringCap_)
+            ringCount_++;
+    }
+    if (!(sinkMask_ & static_cast<std::uint32_t>(cat)))
+        return;
     std::FILE *out = textSink_ ? textSink_ : stderr;
     std::fprintf(out, "%12llu [%s] %s\n",
                  static_cast<unsigned long long>(cycle),
@@ -211,7 +249,9 @@ void
 Trace::complete(TraceCategory cat, int pid, int tid, const char *name,
                 Cycle start, Cycle end, const std::string &args_json)
 {
-    if (!json_ || !enabled(cat))
+    // Sink mask, not the effective mask: ring-only categories (crash
+    // diagnostics) must not leak into the Chrome trace.
+    if (!json_ || !(sinkMask_ & static_cast<std::uint32_t>(cat)))
         return;
     emitJson(strprintf(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
@@ -227,7 +267,7 @@ Trace::span(TraceCategory cat, int pid, int tid, const char *name,
             std::uint64_t id, Cycle start, Cycle end,
             const std::string &args_json)
 {
-    if (!json_ || !enabled(cat))
+    if (!json_ || !(sinkMask_ & static_cast<std::uint32_t>(cat)))
         return;
     const std::string escaped = jsonEscape(name);
     const char *catname = traceCategoryName(cat);
@@ -248,7 +288,7 @@ void
 Trace::instant(TraceCategory cat, int pid, int tid, const char *name,
                Cycle ts, const std::string &args_json)
 {
-    if (!json_ || !enabled(cat))
+    if (!json_ || !(sinkMask_ & static_cast<std::uint32_t>(cat)))
         return;
     emitJson(strprintf(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
@@ -262,7 +302,7 @@ void
 Trace::counter(TraceCategory cat, int pid, const char *name, Cycle ts,
                double value)
 {
-    if (!json_ || !enabled(cat))
+    if (!json_ || !(sinkMask_ & static_cast<std::uint32_t>(cat)))
         return;
     emitJson(strprintf(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"ts\":%llu,"

@@ -89,8 +89,28 @@ class Trace
      */
     static void initFromEnv();
 
-    /** Programmatic configuration (tests, SystemParams). */
-    void configure(std::uint32_t mask) { mask_ = mask; }
+    /** Programmatic configuration of the *sink* categories (tests,
+     *  SystemParams). The effective gate mask also includes the ring
+     *  categories, so enabling the ring keeps trace points live even
+     *  with every sink off. */
+    void
+    configure(std::uint32_t mask)
+    {
+        sinkMask_ = mask;
+        mask_ = sinkMask_ | ringMask_;
+    }
+
+    /**
+     * Retroactive ring buffer for crash diagnostics: keep the last
+     * @p capacity formatted text events in memory (all categories, no
+     * sink required). A panic dump replays them so the events *leading
+     * up to* a violation are visible after the fact. 0 disables.
+     * Env: ROWSIM_TRACE_RING=<events>.
+     */
+    void enableRing(std::size_t capacity);
+    std::size_t ringCapacity() const { return ringCap_; }
+    /** Oldest-first snapshot of the retained events. */
+    std::vector<std::string> ringSnapshot() const;
 
     /** Redirect the text sink. @p owned: close on replacement/exit. */
     void setTextSink(std::FILE *f, bool owned);
@@ -154,8 +174,11 @@ class Trace
     void emitJson(const std::string &record);
 
     // The mask and cycle are static so the inline gates touch no
-    // instance state (and need no instance() call).
+    // instance state (and need no instance() call). mask_ is the union
+    // of the sink categories and the ring categories.
     static inline std::uint32_t mask_ = 0;
+    static inline std::uint32_t sinkMask_ = 0;
+    static inline std::uint32_t ringMask_ = 0;
     static inline Cycle now_ = 0;
 
     std::FILE *textSink_ = nullptr; ///< nullptr -> stderr
@@ -163,6 +186,11 @@ class Trace
     std::FILE *json_ = nullptr;
     bool jsonFirst_ = true;
     std::uint64_t events_ = 0;
+
+    std::vector<std::string> ring_; ///< ringCap_ slots, circular
+    std::size_t ringCap_ = 0;
+    std::size_t ringNext_ = 0;
+    std::size_t ringCount_ = 0;
 };
 
 /** Escape a string for embedding in a JSON string literal. */

@@ -79,6 +79,7 @@ class AtomicQueue
     bool full() const { return count == capacity; }
     bool empty() const { return count == 0; }
     unsigned size() const { return count; }
+    unsigned entries() const { return capacity; }
 
     /** Allocate the tail entry at dispatch. @return entry index. */
     unsigned allocate(SeqNum seq, Addr pc, Cycle now);
@@ -121,6 +122,17 @@ class AtomicQueue
     template <typename Fn>
     void
     forEach(Fn &&fn)
+    {
+        for (unsigned i = 0; i < capacity; i++) {
+            if (slots[i].valid)
+                fn(slots[i]);
+        }
+    }
+
+    /** Const overload (invariant checkers, diagnostics). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
     {
         for (unsigned i = 0; i < capacity; i++) {
             if (slots[i].valid)

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "mem/memsystem.hh"
+#include "sim/checker.hh"
 
 namespace rowsim
 {
@@ -183,6 +184,11 @@ void
 Core::acquireLock(RobEntry &e, FillSource source, Cycle now)
 {
     AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+    ROWSIM_CHECK_EVENT(CheckCategory::Locks,
+                       cache->lineState(a.line()) == CacheState::Modified,
+                       "core%u seq %llu locking line %#llx not held in M",
+                       coreId, static_cast<unsigned long long>(e.seq),
+                       static_cast<unsigned long long>(a.line()));
     a.locked = true;
     a.lockCycle = now;
     a.lockSource = source;
@@ -432,6 +438,12 @@ Core::atomicUnlock(SeqNum seq, Cycle now)
 {
     AqEntry &a = aq.head();
     ROWSIM_ASSERT(a.seq == seq, "unlock out of AQ order");
+    ROWSIM_CHECK_EVENT(CheckCategory::Locks,
+                       cache->lineState(a.line()) == CacheState::Modified,
+                       "core%u seq %llu unlocking line %#llx no longer in M "
+                       "(lock lost while held)",
+                       coreId, static_cast<unsigned long long>(seq),
+                       static_cast<unsigned long long>(a.line()));
 
     // STU write: the line is locked and Modified in the L1D, so the
     // write happens immediately and atomically releases the lock.
@@ -1196,6 +1208,50 @@ Core::drained() const
 {
     return robCount() == 0 && sq.empty() && lq.empty() && aq.empty() &&
            completions.empty() && pendingUnlocks.empty();
+}
+
+bool
+Core::hasPendingUnlock(SeqNum seq) const
+{
+    for (const auto &kv : pendingUnlocks) {
+        if (kv.second == seq)
+            return true;
+    }
+    return false;
+}
+
+void
+Core::dumpDiag(std::FILE *out, Cycle now) const
+{
+    std::fprintf(out,
+                 "{\"core\":%u,\"halted\":%d,\"drained\":%d,"
+                 "\"commitSeq\":%llu,\"nextSeq\":%llu,\"rob\":%u,"
+                 "\"iq\":%u,\"lq\":%u,\"sq\":%u,\"aq\":%u,"
+                 "\"memBarriers\":%zu,\"pendingUnlocks\":%zu,"
+                 "\"completions\":%zu,\"aqEntries\":[",
+                 coreId, halted ? 1 : 0, drained() ? 1 : 0,
+                 static_cast<unsigned long long>(commitSeq),
+                 static_cast<unsigned long long>(nextSeq), robCount(),
+                 iqOccupancy, lq.size(), sq.size(), aq.size(),
+                 memBarriers.size(), pendingUnlocks.size(),
+                 completions.size());
+    bool first = true;
+    aq.forEach([&](const AqEntry &a) {
+        std::fprintf(out,
+                     "%s{\"seq\":%llu,\"line\":\"%#llx\",\"locked\":%d,"
+                     "\"contended\":%d,\"heldFor\":%llu}",
+                     first ? "" : ",",
+                     static_cast<unsigned long long>(a.seq),
+                     static_cast<unsigned long long>(a.line()),
+                     a.locked ? 1 : 0, a.contended ? 1 : 0,
+                     static_cast<unsigned long long>(
+                         a.locked && a.lockCycle != invalidCycle &&
+                                 now >= a.lockCycle
+                             ? now - a.lockCycle
+                             : 0));
+        first = false;
+    });
+    std::fprintf(out, "]}");
 }
 
 } // namespace rowsim

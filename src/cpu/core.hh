@@ -24,6 +24,7 @@
 #define ROWSIM_CPU_CORE_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <queue>
@@ -85,6 +86,23 @@ class Core : public MemClient
     BranchPredictor &branchPredictor() { return branchPred; }
     StoreSet &storeSets() { return storeSet; }
     const AtomicQueue &atomicQueue() const { return aq; }
+
+    // ---- invariant-checker / diagnostics probes (read-only) ----
+    const LoadQueue &loadQueue() const { return lq; }
+    const StoreQueue &storeQueue() const { return sq; }
+    unsigned robOccupancy() const { return robCount(); }
+    unsigned iqOcc() const { return iqOccupancy; }
+    SeqNum lastCommittedSeq() const { return commitSeq; }
+    SeqNum nextSeqNum() const { return nextSeq; }
+    /** Is @p seq dispatched but not yet committed? */
+    bool seqInFlight(SeqNum seq) const { return inFlight(seq); }
+    /** Is a post-commit STU write / unlock scheduled for @p seq? */
+    bool hasPendingUnlock(SeqNum seq) const;
+    std::size_t memBarrierCount() const { return memBarriers.size(); }
+
+    /** Crash diagnostics: one JSON object with pipeline heads, AQ locked
+     *  lines, and occupancy — emitted by System::dumpCrashDiagnostics. */
+    void dumpDiag(std::FILE *out, Cycle now) const;
 
   private:
     /** Per-atomic execution progress. */

@@ -88,6 +88,17 @@ class LoadQueue
         }
     }
 
+    /** Const overload (invariant checkers, diagnostics). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (unsigned i = 0, idx = headIdx; i < count;
+             i++, idx = (idx + 1) % capacity) {
+            fn(slots[idx]);
+        }
+    }
+
   private:
     unsigned capacity;
     unsigned headIdx = 0;
@@ -144,6 +155,17 @@ class StoreQueue
     template <typename Fn>
     void
     forEach(Fn &&fn)
+    {
+        for (unsigned i = 0, idx = headIdx; i < count;
+             i++, idx = (idx + 1) % capacity) {
+            fn(slots[idx]);
+        }
+    }
+
+    /** Const overload (invariant checkers, diagnostics). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
     {
         for (unsigned i = 0, idx = headIdx; i < count;
              i++, idx = (idx + 1) % capacity) {

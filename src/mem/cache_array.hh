@@ -61,6 +61,18 @@ class CacheArray
     /** Set index for an address (exposed for AQ set/way annotations). */
     unsigned setIndex(Addr line_addr) const;
 
+    /** Apply @p fn(tag, state) to every valid line (invariant checkers,
+     *  diagnostics; does not touch replacement state). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const Line &l : lines) {
+            if (l.valid())
+                fn(l.tag, l.state);
+        }
+    }
+
   private:
     unsigned numSets;
     unsigned numWays;

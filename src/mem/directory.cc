@@ -225,6 +225,14 @@ Directory::finishTxn(Entry &e, Addr line, Cycle now)
 void
 Directory::deliver(const Msg &msg, Cycle now)
 {
+    // Fault injection: a stalled bank buffers every delivery. The buffer
+    // also intercepts new arrivals while a drain is in progress so that
+    // arrival order (and thus point-to-point ordering) is preserved.
+    if (now < stalledUntil || !stallBuffer.empty()) {
+        stallBuffer.push_back(msg);
+        return;
+    }
+
     Entry &e = entries[msg.line];
 
     switch (msg.type) {
@@ -296,6 +304,16 @@ Directory::deliver(const Msg &msg, Cycle now)
 void
 Directory::tick(Cycle now)
 {
+    if (stalledUntil != 0 && now >= stalledUntil) {
+        // Swap to a local queue first: deliver() re-buffers while the
+        // member buffer is non-empty (ordering), which would recurse.
+        std::deque<Msg> drain;
+        drain.swap(stallBuffer);
+        stalledUntil = 0;
+        for (const Msg &m : drain)
+            deliver(m, now);
+    }
+
     while (!wake.empty() && wake.begin()->first <= now) {
         Addr line = wake.begin()->second;
         wake.erase(wake.begin());
@@ -308,7 +326,61 @@ Directory::tick(Cycle now)
 bool
 Directory::idle() const
 {
-    return blockedLines == 0 && wake.empty();
+    return blockedLines == 0 && wake.empty() && stallBuffer.empty();
+}
+
+void
+Directory::injectStall(Cycle until)
+{
+    if (until > stalledUntil)
+        stalledUntil = until;
+    stats_.counter("injectedStalls")++;
+}
+
+void
+Directory::testSetLine(Addr line, DirState state, CoreId owner,
+                       std::uint64_t sharers)
+{
+    line = lineAlign(line);
+    Entry &e = entries[line];
+    if (e.state == DirState::Blocked && state != DirState::Blocked) {
+        ROWSIM_ASSERT(blockedLines > 0, "blockedLines underflow");
+        blockedLines--;
+    } else if (e.state != DirState::Blocked && state == DirState::Blocked) {
+        blockedLines++;
+    }
+    e.state = state;
+    e.owner = owner;
+    e.sharers = sharers;
+}
+
+void
+Directory::dumpDiag(std::FILE *out, Cycle now) const
+{
+    std::fprintf(out,
+                 "{\"dir\":\"dir%u\",\"blocked\":%u,\"stallBuffer\":%zu,"
+                 "\"blockedLines\":[",
+                 bankIndex, blockedLines, stallBuffer.size());
+    bool first = true;
+    for (const auto &kv : entries) {
+        const Entry &e = kv.second;
+        if (e.state != DirState::Blocked)
+            continue;
+        std::fprintf(out,
+                     "%s{\"line\":\"%#llx\",\"requester\":%u,"
+                     "\"pendingAcks\":%u,\"dataPending\":%d,"
+                     "\"queued\":%zu,\"blockedFor\":%llu}",
+                     first ? "" : ",",
+                     static_cast<unsigned long long>(kv.first),
+                     e.txnRequester, e.pendingAcks, e.dataPending ? 1 : 0,
+                     e.queued.size(),
+                     static_cast<unsigned long long>(
+                         e.blockedSince == invalidCycle
+                             ? 0
+                             : now - e.blockedSince));
+        first = false;
+    }
+    std::fprintf(out, "]}");
 }
 
 DirState

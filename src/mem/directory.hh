@@ -61,6 +61,59 @@ class Directory : public MsgHandler
     DirState lineState(Addr line) const;
     CoreId lineOwner(Addr line) const;
 
+    /** Read-only view of one directory entry (invariant checkers). */
+    struct LineInfo
+    {
+        Addr line = invalidAddr;
+        DirState state = DirState::Invalid;
+        std::uint64_t sharers = 0;
+        CoreId owner = invalidCore;
+        CoreId txnRequester = invalidCore;
+        unsigned pendingAcks = 0;
+        bool dataPending = false;
+        Cycle blockedSince = invalidCycle;
+        std::size_t queued = 0;
+    };
+
+    /** Apply @p fn(const LineInfo &) to every directory entry. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        LineInfo info;
+        for (const auto &kv : entries) {
+            const Entry &e = kv.second;
+            info.line = kv.first;
+            info.state = e.state;
+            info.sharers = e.sharers;
+            info.owner = e.owner;
+            info.txnRequester = e.txnRequester;
+            info.pendingAcks = e.pendingAcks;
+            info.dataPending = e.dataPending;
+            info.blockedSince = e.blockedSince;
+            info.queued = e.queued.size();
+            fn(info);
+        }
+    }
+
+    unsigned blockedCount() const { return blockedLines; }
+
+    /**
+     * Fault injection: stall the bank — buffer every delivery until
+     * @p until, then process them in arrival order. Models a slow/backed
+     * up bank; point-to-point ordering is preserved.
+     */
+    void injectStall(Cycle until);
+    bool stalled() const { return !stallBuffer.empty() || stalledUntil > 0; }
+
+    /** Crash diagnostics: one JSON object describing Blocked entries. */
+    void dumpDiag(std::FILE *out, Cycle now) const;
+
+    /** Test-only: corrupt the directory by overwriting one entry's
+     *  stable state (checker death tests). */
+    void testSetLine(Addr line, DirState state, CoreId owner,
+                     std::uint64_t sharers);
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -116,6 +169,9 @@ class Directory : public MsgHandler
     std::unordered_map<Addr, Entry> entries;
     /** Lines whose data reply is waiting for the LLC/memory latency. */
     std::multimap<Cycle, Addr> wake;
+    /** Fault injection: deliveries buffered while the bank is stalled. */
+    std::deque<Msg> stallBuffer;
+    Cycle stalledUntil = 0;
     CacheArray llcArray; ///< data-presence array (latency only)
     /** Number of lines currently Blocked (idle() fast path). */
     unsigned blockedLines = 0;

@@ -167,7 +167,7 @@ PrivateCache::evictLine(CacheArray::Line *way, Cycle now)
 {
     const Addr victim_line = way->tag;
     if (way->state == CacheState::Modified) {
-        evicting[victim_line] = true;
+        evicting[victim_line] = now;
         Msg m;
         m.type = MsgType::PutM;
         m.line = victim_line;
@@ -467,6 +467,86 @@ PrivateCache::idle() const
     return mshrs.empty() && dueResults.empty() && pendingAccesses.empty() &&
            evicting.empty() && stalledExternals.empty() &&
            deferredFills.empty();
+}
+
+bool
+PrivateCache::forceEvict(Addr line, Cycle now)
+{
+    line = lineAlign(line);
+    auto *way = l2Array.lookup(line, now);
+    if (!way || client->lineLocked(line) || mshrs.count(line) ||
+        evicting.count(line)) {
+        return false;
+    }
+    evictLine(way, now);
+    stats_.counter("forcedEvictions")++;
+    ROWSIM_TRACE(TraceCategory::Coherence, now,
+                 "l1d%u fault-injected eviction line=%#llx", coreId,
+                 static_cast<unsigned long long>(line));
+    return true;
+}
+
+void
+PrivateCache::testSetLineState(Addr line, CacheState state, Cycle now)
+{
+    line = lineAlign(line);
+    if (auto *present = l2Array.lookup(line, now)) {
+        present->state = state;
+        return;
+    }
+    auto *way = l2Array.victim(line, nullptr, now);
+    ROWSIM_ASSERT(way != nullptr, "testSetLineState: no victim way");
+    if (way->valid())
+        evictLine(way, now);
+    l2Array.fill(way, line, state, now);
+}
+
+void
+PrivateCache::dumpDiag(std::FILE *out, Cycle now) const
+{
+    std::fprintf(out,
+                 "{\"cache\":\"l1d%u\",\"idle\":%s,\"mshrs\":[", coreId,
+                 idle() ? "true" : "false");
+    bool first = true;
+    for (const auto &kv : mshrs) {
+        std::fprintf(out,
+                     "%s{\"line\":\"%#llx\",\"excl\":%d,\"prefetch\":%d,"
+                     "\"waiters\":%zu,\"age\":%llu}",
+                     first ? "" : ",",
+                     static_cast<unsigned long long>(kv.first),
+                     kv.second.exclusiveRequested ? 1 : 0,
+                     kv.second.prefetchOnly ? 1 : 0,
+                     kv.second.waiters.size(),
+                     static_cast<unsigned long long>(
+                         now - kv.second.netIssueCycle));
+        first = false;
+    }
+    std::fprintf(out, "],\"evicting\":[");
+    first = true;
+    for (const auto &kv : evicting) {
+        std::fprintf(out, "%s{\"line\":\"%#llx\",\"age\":%llu}",
+                     first ? "" : ",",
+                     static_cast<unsigned long long>(kv.first),
+                     static_cast<unsigned long long>(now - kv.second));
+        first = false;
+    }
+    std::fprintf(out, "],\"stalledExternals\":[");
+    first = true;
+    for (const auto &s : stalledExternals) {
+        std::fprintf(out,
+                     "%s{\"type\":\"%s\",\"line\":\"%#llx\","
+                     "\"requester\":%u,\"age\":%llu}",
+                     first ? "" : ",", msgTypeName(s.msg.type),
+                     static_cast<unsigned long long>(s.msg.line),
+                     s.msg.requester,
+                     static_cast<unsigned long long>(now - s.arrival));
+        first = false;
+    }
+    std::fprintf(out,
+                 "],\"pendingAccesses\":%zu,\"deferredFills\":%zu,"
+                 "\"dueResults\":%zu}",
+                 pendingAccesses.size(), deferredFills.size(),
+                 dueResults.size());
 }
 
 CacheState

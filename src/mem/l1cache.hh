@@ -133,6 +133,68 @@ class PrivateCache : public MsgHandler
     /** True when the line hits in the (smaller) L1 array. */
     bool inL1(Addr line) const;
 
+    // ---- invariant-checker / diagnostics probes (read-only) ----
+
+    /** True when a miss for @p line is outstanding. */
+    bool hasMshr(Addr line) const { return mshrs.count(lineAlign(line)); }
+    /** True when a PutM for @p line is in flight (writeback buffer). */
+    bool
+    isEvicting(Addr line) const
+    {
+        return evicting.count(lineAlign(line));
+    }
+    std::size_t mshrCount() const { return mshrs.size(); }
+
+    /** Apply @p fn(line, putmSentCycle) to every in-flight writeback. */
+    template <typename Fn>
+    void
+    forEachEvicting(Fn &&fn) const
+    {
+        for (const auto &kv : evicting)
+            fn(kv.first, kv.second);
+    }
+
+    /** Apply @p fn(line, mshr) to every outstanding MSHR. */
+    template <typename Fn>
+    void
+    forEachMshr(Fn &&fn) const
+    {
+        for (const auto &kv : mshrs)
+            fn(kv.first, kv.second);
+    }
+
+    /** Apply @p fn(line, state) to every valid coherence (L2) line. */
+    template <typename Fn>
+    void
+    forEachL2Line(Fn &&fn) const
+    {
+        l2Array.forEachLine(fn);
+    }
+
+    /** Apply @p fn(line, state) to every valid L1 line. */
+    template <typename Fn>
+    void
+    forEachL1Line(Fn &&fn) const
+    {
+        l1Array.forEachLine(fn);
+    }
+
+    /**
+     * Fault injection: forcibly evict @p line from the unit as if chosen
+     * as a victim (PutM if Modified — exercising the crossing races).
+     * Refused (returns false) when the line is absent, AQ-locked, or has
+     * an outstanding miss/writeback, mirroring what the replacement
+     * policy could legally pick.
+     */
+    bool forceEvict(Addr line, Cycle now);
+
+    /** Crash diagnostics: one JSON object describing outstanding state. */
+    void dumpDiag(std::FILE *out, Cycle now) const;
+
+    /** Test-only: corrupt the coherence array by force-installing @p line
+     *  in @p state, bypassing the protocol (checker death tests). */
+    void testSetLineState(Addr line, CacheState state, Cycle now);
+
     StatGroup &stats() { return stats_; }
 
     /** Stall age beyond which a pre-commit lock is forcibly released
@@ -178,8 +240,9 @@ class PrivateCache : public MsgHandler
 
     std::unordered_map<Addr, Mshr> mshrs;
     std::deque<std::pair<MemAccess, Cycle>> pendingAccesses;
-    /** Dirty lines with a PutM in flight; they still answer forwards. */
-    std::unordered_map<Addr, bool> evicting;
+    /** Dirty lines with a PutM in flight; they still answer forwards.
+     *  Maps line -> cycle the PutM was sent (leak detection). */
+    std::unordered_map<Addr, Cycle> evicting;
     std::vector<StalledExternal> stalledExternals;
     /** Fills that could not find an unpinned victim, retried each tick. */
     std::vector<Msg> deferredFills;

@@ -92,6 +92,8 @@ Network::send(Msg msg, Cycle now)
 {
     msg.sent = now;
     Cycle due = now + latency(msg.src, msg.dst);
+    if (delayHook)
+        due += delayHook(msg, now);
     auto key = std::make_pair(msg.src, msg.dst);
     auto it = lastDelivery.find(key);
     if (it != lastDelivery.end() && due < it->second)
@@ -125,8 +127,38 @@ Network::tick(Cycle now)
                                     static_cast<unsigned long long>(
                                         p.msg.line),
                                     p.msg.src, p.msg.dst));
+        stats_.counter("delivered")++;
         h->deliver(p.msg, now);
     }
+}
+
+void
+Network::dumpDiag(std::FILE *out, Cycle now) const
+{
+    std::fprintf(out, "{\"inFlight\":%zu,\"messages\":[",
+                 inFlight.size());
+    // priority_queue has no iteration; copy it (crash path only).
+    auto copy = inFlight;
+    bool first = true;
+    std::size_t listed = 0;
+    while (!copy.empty() && listed < 64) {
+        const Pending &p = copy.top();
+        std::fprintf(out,
+                     "%s{\"type\":\"%s\",\"line\":\"%#llx\",\"src\":%u,"
+                     "\"dst\":%u,\"sent\":%llu,\"due\":%llu,\"age\":%llu}",
+                     first ? "" : ",", msgTypeName(p.msg.type),
+                     static_cast<unsigned long long>(p.msg.line),
+                     p.msg.src, p.msg.dst,
+                     static_cast<unsigned long long>(p.msg.sent),
+                     static_cast<unsigned long long>(p.due),
+                     static_cast<unsigned long long>(
+                         now >= p.msg.sent ? now - p.msg.sent : 0));
+        first = false;
+        listed++;
+        copy.pop();
+    }
+    std::fprintf(out, "]%s}",
+                 inFlight.size() > 64 ? ",\"truncated\":true" : "");
 }
 
 } // namespace rowsim

@@ -12,6 +12,8 @@
 #define ROWSIM_NET_NETWORK_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <map>
 #include <queue>
 #include <vector>
@@ -45,6 +47,27 @@ class Network
 
     /** True when no messages are in flight. */
     bool idle() const { return inFlight.empty(); }
+
+    /** Messages currently in flight (conservation checks). */
+    std::size_t inFlightCount() const { return inFlight.size(); }
+    /** Delivery cycle of the earliest in-flight message; invalidCycle
+     *  when the network is idle. */
+    Cycle
+    nextDue() const
+    {
+        return inFlight.empty() ? invalidCycle : inFlight.top().due;
+    }
+
+    /**
+     * Fault injection: extra per-message delay, added on top of the mesh
+     * latency before the point-to-point ordering adjustment (so ordering
+     * still holds). Return 0 for no fault.
+     */
+    using DelayHook = std::function<Cycle(const Msg &msg, Cycle now)>;
+    void setDelayHook(DelayHook hook) { delayHook = std::move(hook); }
+
+    /** Crash diagnostics: one JSON object listing in-flight messages. */
+    void dumpDiag(std::FILE *out, Cycle now) const;
 
     /** NodeId of the directory bank homing @p line. */
     NodeId homeBank(Addr line) const;
@@ -82,6 +105,7 @@ class Network
     /** Last delivery cycle per (src,dst) to enforce point-to-point order. */
     std::map<std::pair<NodeId, NodeId>, Cycle> lastDelivery;
     std::uint64_t nextOrder = 0;
+    DelayHook delayHook;
 
     StatGroup stats_;
 };

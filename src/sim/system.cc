@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/log.hh"
@@ -38,6 +39,21 @@ System::System(const SystemParams &params,
     }
 
     setupObservability();
+    setupSelfChecking();
+
+    // Every panic — checker violation, watchdog fire, protocol assert —
+    // dumps the diagnostics snapshot before unwinding.
+    coreProgress_.assign(params_.numCores, CoreProgress{});
+    watchdogPeriod_ = std::clamp<Cycle>(params_.deadlockCycles / 8,
+                                        Cycle{32}, Cycle{4096});
+    pushPanicHook(this, [this](const std::string &msg) {
+        dumpCrashDiagnostics(msg.c_str());
+    });
+}
+
+System::~System()
+{
+    removePanicHook(this);
 }
 
 void
@@ -75,7 +91,7 @@ System::setupObservability()
     if (period == 0) {
         if (const char *env = std::getenv("ROWSIM_STATS_INTERVAL");
             env && *env) {
-            period = std::strtoull(env, nullptr, 10);
+            period = parseEnvU64("ROWSIM_STATS_INTERVAL", env);
         }
     }
     intervalStats_.configure(period);
@@ -123,16 +139,150 @@ System::setupObservability()
 }
 
 void
+System::setupSelfChecking()
+{
+    // Invariant checker: env vars first, then explicit params override
+    // (same precedence as tracing). The Checker object always exists;
+    // the static mask decides whether tick() ever calls into it.
+    Checker::initFromEnv();
+    if (!params_.checkCategories.empty())
+        Checker::configure(parseCheckCategories(params_.checkCategories));
+    checker_ = std::make_unique<Checker>(
+        this, params_.checkInterval ? params_.checkInterval
+                                    : Checker::envInterval());
+
+    // Fault injector: only constructed when a category is selected, so
+    // the per-tick cost with faults off is one null-pointer test.
+    std::uint32_t fault_mask = 0;
+    if (!params_.faultCategories.empty()) {
+        fault_mask = parseFaultCategories(params_.faultCategories);
+    } else if (const char *env = std::getenv("ROWSIM_FAULTS");
+               env && *env) {
+        fault_mask = parseFaultCategories(env);
+    }
+    if (fault_mask) {
+        std::uint64_t fseed = params_.faultSeed;
+        if (fseed == 0) {
+            if (const char *env = std::getenv("ROWSIM_FAULTS_SEED");
+                env && *env) {
+                fseed = parseEnvU64("ROWSIM_FAULTS_SEED", env);
+            }
+        }
+        if (fseed == 0)
+            fseed = params_.seed * 0x9e3779b97f4a7c15ULL + 1;
+        std::uint64_t rate = params_.faultRate;
+        if (rate == 0) {
+            if (const char *env = std::getenv("ROWSIM_FAULTS_RATE");
+                env && *env) {
+                rate = parseEnvU64("ROWSIM_FAULTS_RATE", env);
+            }
+        }
+        if (rate == 0)
+            rate = 50;
+        faults_ = std::make_unique<FaultInjector>(
+            this, fault_mask, fseed, static_cast<unsigned>(rate));
+        memsys.network().setDelayHook(
+            [this](const Msg &msg, Cycle now) {
+                return faults_->extraDelay(msg, now);
+            });
+    }
+
+    // Self-checking runs want post-mortem context: keep a retroactive
+    // trace ring so crash dumps can replay the events leading up to a
+    // violation, even with every trace sink off.
+    if ((Checker::anyEnabled() || faults_) &&
+        Trace::instance().ringCapacity() == 0) {
+        Trace::instance().enableRing(256);
+    }
+}
+
+void
 System::tick()
 {
     currentCycle++;
     if (Trace::anyEnabled())
         Trace::setNow(currentCycle);
+    if (faults_)
+        faults_->tick(currentCycle);
     memsys.tick(currentCycle);
     for (auto &c : cores)
         c->tick(currentCycle);
     if (intervalStats_.enabled())
         intervalStats_.tick(currentCycle);
+    if (Checker::anyEnabled())
+        checker_->tick(currentCycle);
+    if (currentCycle - lastWatchdogScan_ >= watchdogPeriod_)
+        watchdogScan();
+}
+
+void
+System::watchdogScan()
+{
+    lastWatchdogScan_ = currentCycle;
+
+    // Per-core commit progress. A drained core is legitimately idle
+    // (quota reached, pipeline empty); everything else must commit
+    // within the deadlock bound.
+    for (CoreId c = 0; c < cores.size(); c++) {
+        Core &core = *cores[c];
+        CoreProgress &p = coreProgress_[c];
+        const std::uint64_t insts = core.committedInstructions();
+        if (insts != p.insts || core.drained()) {
+            p.insts = insts;
+            p.cycle = currentCycle;
+        } else if (currentCycle - p.cycle > params_.deadlockCycles) {
+            ROWSIM_PANIC("[watchdog] core%u made no commit progress for "
+                         "%llu cycles (rob=%u lq=%u sq=%u aq=%u, last "
+                         "committed seq %llu)",
+                         c,
+                         static_cast<unsigned long long>(
+                             currentCycle - p.cycle),
+                         core.robOccupancy(), core.loadQueue().size(),
+                         core.storeQueue().size(),
+                         core.atomicQueue().size(),
+                         static_cast<unsigned long long>(
+                             core.lastCommittedSeq()));
+        }
+    }
+
+    // Per-structure ages (MSHRs, directory Blocked entries). These scan
+    // hash maps, so they run at a much coarser cadence than the per-core
+    // counter comparison above.
+    const Cycle struct_period = std::max<Cycle>(params_.deadlockCycles / 2,
+                                                Cycle{1});
+    if (currentCycle - lastStructScan_ < struct_period)
+        return;
+    lastStructScan_ = currentCycle;
+    const Cycle bound = params_.deadlockCycles;
+    for (CoreId c = 0; c < cores.size(); c++) {
+        memsys.cache(c).forEachMshr([&](Addr line, const Mshr &m) {
+            if (currentCycle > m.netIssueCycle &&
+                currentCycle - m.netIssueCycle > bound) {
+                ROWSIM_PANIC("[watchdog] l1d%u MSHR for line %#llx "
+                             "outstanding for %llu cycles",
+                             c, static_cast<unsigned long long>(line),
+                             static_cast<unsigned long long>(
+                                 currentCycle - m.netIssueCycle));
+            }
+        });
+    }
+    for (unsigned b = 0; b < memsys.numBanks(); b++) {
+        memsys.directory(b).forEachLine(
+            [&](const Directory::LineInfo &i) {
+                if (i.state == DirState::Blocked &&
+                    i.blockedSince != invalidCycle &&
+                    currentCycle > i.blockedSince &&
+                    currentCycle - i.blockedSince > bound) {
+                    ROWSIM_PANIC("[watchdog] dir%u line %#llx Blocked "
+                                 "for %llu cycles (requester core%u)",
+                                 b,
+                                 static_cast<unsigned long long>(i.line),
+                                 static_cast<unsigned long long>(
+                                     currentCycle - i.blockedSince),
+                                 i.txnRequester);
+                }
+            });
+    }
 }
 
 Cycle
@@ -152,19 +302,9 @@ System::run(std::uint64_t iter_quota)
         }
         if (all_done)
             return currentCycle;
-
-        // Deadlock watchdog (DESIGN.md invariant #4).
-        const std::uint64_t insts = totalInstructions();
-        if (insts != lastProgressInsts) {
-            lastProgressInsts = insts;
-            lastProgressCycle = currentCycle;
-        } else if (currentCycle - lastProgressCycle >
-                   params_.deadlockCycles) {
-            ROWSIM_PANIC("no global commit progress for %llu cycles "
-                         "(deadlock?)",
-                         static_cast<unsigned long long>(
-                             params_.deadlockCycles));
-        }
+        // Deadlock detection lives in watchdogScan() (called from
+        // tick()): per-core commit progress plus per-structure ages,
+        // so a fire names the stuck component.
     }
 }
 
@@ -189,9 +329,105 @@ System::drain()
         if (quiet)
             return;
         tick();
-        if (currentCycle - start > params_.deadlockCycles)
-            ROWSIM_PANIC("drain did not quiesce");
+        if (currentCycle - start > params_.deadlockCycles) {
+            ROWSIM_PANIC("drain did not quiesce after %llu cycles; "
+                         "stuck: %s",
+                         static_cast<unsigned long long>(
+                             currentCycle - start),
+                         stuckSummary().c_str());
+        }
     }
+}
+
+std::string
+System::stuckSummary()
+{
+    std::string s;
+    for (CoreId c = 0; c < cores.size(); c++) {
+        Core &core = *cores[c];
+        if (!core.drained()) {
+            s += strprintf("core%u(rob=%u,lq=%u,sq=%u,aq=%u) ", c,
+                           core.robOccupancy(), core.loadQueue().size(),
+                           core.storeQueue().size(),
+                           core.atomicQueue().size());
+        }
+    }
+    for (CoreId c = 0; c < cores.size(); c++) {
+        if (!memsys.cache(c).idle()) {
+            s += strprintf("l1d%u(mshr=%zu) ", c,
+                           memsys.cache(c).mshrCount());
+        }
+    }
+    for (unsigned b = 0; b < memsys.numBanks(); b++) {
+        if (!memsys.directory(b).idle()) {
+            s += strprintf("dir%u(blocked=%u) ", b,
+                           memsys.directory(b).blockedCount());
+        }
+    }
+    if (!memsys.network().idle()) {
+        s += strprintf("network(%zu msgs) ",
+                       memsys.network().inFlightCount());
+    }
+    if (s.empty())
+        return "no stuck components identified";
+    s.pop_back();
+    return s;
+}
+
+void
+System::emitCrashJson(std::FILE *out, const char *reason)
+{
+    std::fprintf(out, "{\"reason\":\"%s\",\"cycle\":%llu,\"cores\":[",
+                 jsonEscape(reason).c_str(),
+                 static_cast<unsigned long long>(currentCycle));
+    for (CoreId c = 0; c < cores.size(); c++) {
+        std::fprintf(out, "%s", c ? "," : "");
+        cores[c]->dumpDiag(out, currentCycle);
+    }
+    std::fprintf(out, "],\"caches\":[");
+    for (CoreId c = 0; c < cores.size(); c++) {
+        std::fprintf(out, "%s", c ? "," : "");
+        memsys.cache(c).dumpDiag(out, currentCycle);
+    }
+    std::fprintf(out, "],\"directories\":[");
+    for (unsigned b = 0; b < memsys.numBanks(); b++) {
+        std::fprintf(out, "%s", b ? "," : "");
+        memsys.directory(b).dumpDiag(out, currentCycle);
+    }
+    std::fprintf(out, "],\"network\":");
+    memsys.network().dumpDiag(out, currentCycle);
+    std::fprintf(out, ",\"recentTrace\":[");
+    const auto recent = Trace::instance().ringSnapshot();
+    for (std::size_t i = 0; i < recent.size(); i++) {
+        std::fprintf(out, "%s\"%s\"", i ? "," : "",
+                     jsonEscape(recent[i]).c_str());
+    }
+    std::fprintf(out, "]}");
+}
+
+void
+System::dumpCrashDiagnostics(const char *reason)
+{
+    if (dumpingCrash_)
+        return; // a panic inside the dump must not recurse
+    dumpingCrash_ = true;
+    std::fprintf(stderr, "=== ROWSIM CRASH DUMP BEGIN ===\n");
+    emitCrashJson(stderr, reason);
+    std::fprintf(stderr, "\n=== ROWSIM CRASH DUMP END ===\n");
+    if (const char *path = std::getenv("ROWSIM_CRASH_JSON");
+        path && *path) {
+        if (std::FILE *f = std::fopen(path, "w")) {
+            emitCrashJson(f, reason);
+            std::fprintf(f, "\n");
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr,
+                         "rowsim: cannot write crash dump to '%s'\n",
+                         path);
+        }
+    }
+    std::fflush(stderr);
+    dumpingCrash_ = false;
 }
 
 namespace

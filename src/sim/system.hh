@@ -19,6 +19,8 @@
 #include "cpu/core.hh"
 #include "cpu/stream.hh"
 #include "mem/memsystem.hh"
+#include "sim/checker.hh"
+#include "sim/faults.hh"
 
 namespace rowsim
 {
@@ -31,6 +33,7 @@ class System
   public:
     System(const SystemParams &params,
            std::vector<std::unique_ptr<InstStream>> streams);
+    ~System();
 
     /**
      * Run until every core has committed @p iter_quota workload
@@ -46,7 +49,9 @@ class System
     void runCycles(Cycle cycles);
 
     /** Halt every core and tick until pipelines and the memory system
-     *  fully quiesce (atomicity invariant checks read memory after). */
+     *  fully quiesce (atomicity invariant checks read memory after).
+     *  Panics — naming the components that failed to quiesce — when the
+     *  system does not settle within the deadlock bound. */
     void drain();
 
     Core &core(CoreId id) { return *cores[id]; }
@@ -72,6 +77,26 @@ class System
     /** System-level derived stats (ipc, contendedPct, ...). */
     StatGroup &simStats() { return simStats_; }
 
+    /** The invariant checker (always constructed; sweeps only when the
+     *  static check mask is non-zero). */
+    Checker &checker() { return *checker_; }
+    /** The fault injector; nullptr unless faults are enabled. */
+    FaultInjector *faults() { return faults_.get(); }
+
+    /**
+     * Emit the crash diagnostics snapshot: a human-visible marker pair
+     * around one JSON object (per-core pipeline heads and locked lines,
+     * per-cache MSHRs/writebacks, directory Blocked entries, in-flight
+     * messages, and the last-K trace events from the retroactive ring)
+     * to stderr, and to the ROWSIM_CRASH_JSON file when set. Installed
+     * as a panic hook, so every panic (checker violation, watchdog,
+     * drain failure) dumps before unwinding.
+     */
+    void dumpCrashDiagnostics(const char *reason);
+
+    /** One-line "what is stuck" summary naming un-quiesced components. */
+    std::string stuckSummary();
+
     /** Sum of a per-core counter across all cores. */
     std::uint64_t totalCounter(const std::string &name) const;
     /** Count-weighted mean of a per-core Average across all cores. */
@@ -85,6 +110,13 @@ class System
     void tick();
     /** Apply trace/interval-stats configuration (params + env vars). */
     void setupObservability();
+    /** Wire the invariant checker and fault injector (params + env). */
+    void setupSelfChecking();
+    /** Per-core / per-structure forward-progress watchdog: panics naming
+     *  the stuck component instead of a bare global "deadlock?". */
+    void watchdogScan();
+    /** Body of dumpCrashDiagnostics, reusable per sink. */
+    void emitCrashJson(std::FILE *out, const char *reason);
 
     SystemParams params_;
     MemSystem memsys;
@@ -92,8 +124,21 @@ class System
     std::vector<std::unique_ptr<Core>> cores;
 
     Cycle currentCycle = 0;
-    std::uint64_t lastProgressInsts = 0;
-    Cycle lastProgressCycle = 0;
+
+    /** Per-core commit progress for the watchdog. */
+    struct CoreProgress
+    {
+        std::uint64_t insts = 0;
+        Cycle cycle = 0;
+    };
+    std::vector<CoreProgress> coreProgress_;
+    Cycle watchdogPeriod_ = 4096;
+    Cycle lastWatchdogScan_ = 0;
+    Cycle lastStructScan_ = 0;
+    bool dumpingCrash_ = false;
+
+    std::unique_ptr<Checker> checker_;
+    std::unique_ptr<FaultInjector> faults_;
 
     IntervalStats intervalStats_;
     StatGroup simStats_{"sim"};

@@ -46,6 +46,22 @@ TEST(Logging, AssertPassesAndFails)
     EXPECT_THROW(ROWSIM_ASSERT(1 + 1 == 3, "not fine"), std::logic_error);
 }
 
+TEST(Logging, ParseEnvU64AcceptsOnlyFullDecimalStrings)
+{
+    EXPECT_EQ(parseEnvU64("X", "0"), 0u);
+    EXPECT_EQ(parseEnvU64("X", "5000"), 5000u);
+    // "10k" used to silently parse as 10; now the whole string must be
+    // a decimal number.
+    EXPECT_THROW(parseEnvU64("ROWSIM_STATS_INTERVAL", "10k"),
+                 std::runtime_error);
+    EXPECT_THROW(parseEnvU64("X", "garbage"), std::runtime_error);
+    EXPECT_THROW(parseEnvU64("X", ""), std::runtime_error);
+    EXPECT_THROW(parseEnvU64("X", " 10"), std::runtime_error);
+    EXPECT_THROW(parseEnvU64("X", "-1"), std::runtime_error);
+    EXPECT_THROW(parseEnvU64("X", "99999999999999999999999"),
+                 std::runtime_error);
+}
+
 TEST(MicroOp, ClassificationHelpers)
 {
     MicroOp op;
