@@ -84,10 +84,14 @@ detector(benchmark::State &state, ContentionDetector det)
 }
 
 const int registered = [] {
+    for (const auto &w : kSubset)
+        addPrewarm(w, eagerConfig());
     for (auto det : {ContentionDetector::RW, ContentionDetector::RWDir,
                      ContentionDetector::RWDirNotify}) {
         ExpConfig cfg = rowConfig(det,
                                   PredictorUpdate::SaturateOnContention);
+        for (const auto &w : kSubset)
+            addPrewarm(w, cfg);
         benchmark::RegisterBenchmark(
             ("ablation/detector/" + cfg.label).c_str(), detector, det)
             ->Unit(benchmark::kMillisecond)
@@ -97,12 +101,20 @@ const int registered = [] {
                      PredictorUpdate::SaturateOnContention,
                      PredictorUpdate::TwoUpOneDown}) {
         ExpConfig cfg = rowConfig(ContentionDetector::RWDir, upd);
+        for (const auto &w : kSubset)
+            addPrewarm(w, cfg);
         benchmark::RegisterBenchmark(
             ("ablation/update/" + cfg.label).c_str(), updateRule, upd)
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);
     }
     for (unsigned entries : {64u, 16u, 4u, 1u}) {
+        ExpConfig cfg = rowConfig(ContentionDetector::RWDir,
+                                  PredictorUpdate::SaturateOnContention);
+        cfg.predictorEntries = entries;
+        cfg.label = "Sat_" + std::to_string(entries) + "e";
+        for (const auto &w : kSubset)
+            addPrewarm(w, cfg);
         benchmark::RegisterBenchmark(
             ("ablation/entries/" + std::to_string(entries)).c_str(),
             tableSize, entries)

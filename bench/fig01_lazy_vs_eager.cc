@@ -36,6 +36,8 @@ lazyVsEager(benchmark::State &state, const std::string &workload)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, eagerConfig());
+        addPrewarm(w, lazyConfig());
         benchmark::RegisterBenchmark(("fig01/" + w).c_str(), lazyVsEager,
                                      w)
             ->Unit(benchmark::kMillisecond)

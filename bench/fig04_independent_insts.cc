@@ -34,6 +34,8 @@ independents(benchmark::State &state, const std::string &workload)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, eagerConfig());
+        addPrewarm(w, lazyConfig());
         benchmark::RegisterBenchmark(("fig04/" + w).c_str(), independents,
                                      w)
             ->Unit(benchmark::kMillisecond)

@@ -32,6 +32,7 @@ intensity(benchmark::State &state, const std::string &workload)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, eagerConfig());
         benchmark::RegisterBenchmark(("fig05/" + w).c_str(), intensity, w)
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);

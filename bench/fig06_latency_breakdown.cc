@@ -42,6 +42,8 @@ breakdown(benchmark::State &state, const std::string &workload)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, eagerConfig());
+        addPrewarm(w, lazyConfig());
         benchmark::RegisterBenchmark(("fig06/" + w).c_str(), breakdown, w)
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);

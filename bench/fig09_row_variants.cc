@@ -67,13 +67,19 @@ singleEntryAblation(benchmark::State &state)
 }
 
 const int registered = [] {
+    ExpConfig oneEntry = rowConfig(ContentionDetector::RWDir,
+                                   PredictorUpdate::SaturateOnContention);
+    oneEntry.predictorEntries = 1;
+    oneEntry.label = "RW+Dir_Sat_1entry";
     for (const auto &w : atomicIntensiveWorkloads()) {
         for (const auto &cfg : fig9Configs()) {
+            addPrewarm(w, cfg);
             std::string name = "fig09/" + w + "/" + cfg.label;
             benchmark::RegisterBenchmark(name.c_str(), variant, w, cfg)
                 ->Unit(benchmark::kMillisecond)
                 ->Iterations(1);
         }
+        addPrewarm(w, oneEntry);
     }
     benchmark::RegisterBenchmark("fig09/geomean", summary)
         ->Unit(benchmark::kMillisecond)

@@ -62,7 +62,14 @@ summary(benchmark::State &state)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, eagerConfig());
         for (Cycle t : kThresholds) {
+            ExpConfig cfg = rowConfig(
+                ContentionDetector::RWDir,
+                PredictorUpdate::SaturateOnContention);
+            cfg.latencyThreshold = t;
+            cfg.label = "thr_" + thresholdName(t);
+            addPrewarm(w, cfg);
             std::string name = "fig10/" + w + "/thr_" + thresholdName(t);
             benchmark::RegisterBenchmark(name.c_str(), sweep, w, t)
                 ->Unit(benchmark::kMillisecond)

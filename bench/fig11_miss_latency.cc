@@ -44,6 +44,12 @@ missLatency(benchmark::State &state, const std::string &workload)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, eagerConfig());
+        addPrewarm(w, lazyConfig());
+        addPrewarm(w, rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::UpDown));
+        addPrewarm(w, rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::SaturateOnContention));
         benchmark::RegisterBenchmark(("fig11/" + w).c_str(), missLatency,
                                      w)
             ->Unit(benchmark::kMillisecond)

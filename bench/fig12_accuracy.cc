@@ -62,6 +62,10 @@ average(benchmark::State &state)
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
+        addPrewarm(w, rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::UpDown));
+        addPrewarm(w, rowConfig(ContentionDetector::RWDir,
+                                PredictorUpdate::SaturateOnContention));
         benchmark::RegisterBenchmark(("fig12/" + w).c_str(), accuracy, w)
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);

@@ -90,8 +90,15 @@ allApplications(benchmark::State &state)
 }
 
 const int registered = [] {
+    ExpConfig best = rowConfig(ContentionDetector::RWDir,
+                               PredictorUpdate::UpDown, true);
+    for (const auto &w : allWorkloads()) {
+        addPrewarm(w, eagerConfig());
+        addPrewarm(w, best);
+    }
     for (const auto &w : atomicIntensiveWorkloads()) {
         for (const auto &cfg : configs()) {
+            addPrewarm(w, cfg);
             std::string name = "fig13/" + w + "/" + cfg.label;
             benchmark::RegisterBenchmark(name.c_str(), variant, w, cfg)
                 ->Unit(benchmark::kMillisecond)

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Simulator-throughput baseline: time one representative eager run per
+ * atomic-intensive workload and emit BENCH_perf.json with
+ * {sim_cycles, wall_ms, cycles_per_sec} plus host metadata.
+ *
+ * This measures the SIMULATOR, not the simulated machine — sim_cycles
+ * must be bit-stable across commits (it is a simulated result), while
+ * wall_ms / cycles_per_sec track the hot-path cost and are expected to
+ * move. CI only checks the schema; the committed file documents the
+ * throughput at the commit that produced it.
+ *
+ * Usage: perf_baseline [output.json]   (default: BENCH_perf.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+struct Sample
+{
+    std::string workload;
+    std::uint64_t simCycles = 0;
+    double wallMs = 0;
+    double cyclesPerSec = 0;
+};
+
+Sample
+measure(const std::string &workload)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    RunResult r = runExperiment(workload, eagerConfig());
+    const auto t1 = clock::now();
+
+    Sample s;
+    s.workload = workload;
+    s.simCycles = r.cycles;
+    s.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    s.cyclesPerSec = s.wallMs > 0
+                         ? static_cast<double>(r.cycles) * 1e3 / s.wallMs
+                         : 0;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = argc > 1 ? argv[1] : "BENCH_perf.json";
+
+    std::vector<Sample> samples;
+    for (const auto &w : atomicIntensiveWorkloads()) {
+        samples.push_back(measure(w));
+        std::printf("%-15s %12llu cycles  %9.1f ms  %11.0f cyc/s\n",
+                    samples.back().workload.c_str(),
+                    static_cast<unsigned long long>(
+                        samples.back().simCycles),
+                    samples.back().wallMs, samples.back().cyclesPerSec);
+        std::fflush(stdout);
+    }
+
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "perf_baseline: cannot open %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"host\": {\n");
+    std::fprintf(out, "    \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    const char *ff = std::getenv("ROWSIM_FF");
+    std::fprintf(out, "    \"fast_forward\": \"%s\",\n",
+                 ff && *ff ? ff : "default-on");
+    std::fprintf(out, "    \"build\": \"%s\"\n",
+#ifdef NDEBUG
+                 "release"
+#else
+                 "debug"
+#endif
+    );
+    std::fprintf(out, "  },\n  \"workloads\": {\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(out,
+                     "    \"%s\": {\"sim_cycles\": %llu, "
+                     "\"wall_ms\": %.1f, \"cycles_per_sec\": %.0f}%s\n",
+                     s.workload.c_str(),
+                     static_cast<unsigned long long>(s.simCycles),
+                     s.wallMs, s.cyclesPerSec,
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+    return 0;
+}

@@ -172,6 +172,18 @@ struct SystemParams
      *  cycles (deadlock detection; invariant #4 in DESIGN.md). */
     Cycle deadlockCycles = 2'000'000;
 
+    /**
+     * Idle fast-forward: when every core and memory-side component
+     * reports no schedulable work before some future cycle, System::run
+     * jumps the clock to that cycle instead of ticking through the idle
+     * window. Simulated results are identical by construction (the skip
+     * bound is conservative); auto-disabled under fault injection, whose
+     * per-cycle RNG draws make the schedule depend on every tick.
+     * Env override: ROWSIM_FF=0 (off), 1 (on), check (tick through each
+     * predicted window and panic if anything would have happened).
+     */
+    bool idleFastForward = true;
+
     // ---- observability (see src/common/trace.hh) ----
 
     /** Trace categories to enable, same syntax as the ROWSIM_TRACE env

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdarg>
@@ -13,10 +14,12 @@ namespace rowsim
 namespace
 {
 
-LogLevel &
+std::atomic<LogLevel> &
 levelStorage()
 {
-    static LogLevel level = [] {
+    // Atomic so sweep workers can warn() while another thread calls
+    // setLogLevel (or is still inside first-use initialisation).
+    static std::atomic<LogLevel> level = [] {
         const char *env = std::getenv("ROWSIM_LOG_LEVEL");
         return env && *env ? parseLogLevel(env) : LogLevel::Info;
     }();
@@ -29,7 +32,11 @@ using PanicHook =
 std::vector<PanicHook> &
 panicHooks()
 {
-    static std::vector<PanicHook> hooks;
+    // Thread-local: a System registers its crash-dump hook on the thread
+    // it was constructed on, which is the thread that runs it — so a
+    // panic on a sweep worker dumps that worker's System only, and never
+    // races another thread's registration.
+    static thread_local std::vector<PanicHook> hooks;
     return hooks;
 }
 
@@ -125,7 +132,7 @@ panicImpl(const char *file, int line, const std::string &msg)
     // Crash diagnostics: let registered owners (Systems) dump their state
     // before the stack unwinds and destroys it. A panic raised *while*
     // dumping must not recurse into the hooks.
-    static bool inHook = false;
+    static thread_local bool inHook = false;
     if (!inHook && !panicHooks().empty()) {
         inHook = true;
         auto hooks = panicHooks(); // copy: a hook may unregister itself

@@ -183,6 +183,10 @@ class IntervalStats
     /** Take one sample immediately (e.g. a final partial interval). */
     void sample(Cycle now);
 
+    /** Cycle of the next period-boundary sample (service-cycle hoist
+     *  and fast-forward bound); meaningless when disabled. */
+    Cycle nextSampleAt() const { return nextAt_; }
+
     const std::vector<Probe> &probes() const { return probes_; }
     /** Cycle stamps of the samples taken so far. */
     const std::vector<Cycle> &sampleCycles() const { return cycles_; }

@@ -93,7 +93,9 @@ jsonEscape(const std::string &s)
 Trace &
 Trace::instance()
 {
-    static Trace t;
+    // One Trace per thread: sinks, ring and masks never cross threads,
+    // so concurrent sweep workers cannot interleave output.
+    static thread_local Trace t;
     return t;
 }
 
@@ -103,12 +105,20 @@ Trace::~Trace()
 }
 
 void
+Trace::disableThisThread()
+{
+    envInitDone_ = true;
+    mask_ = 0;
+    sinkMask_ = 0;
+    ringMask_ = 0;
+}
+
+void
 Trace::initFromEnv()
 {
-    static bool done = false;
-    if (done)
+    if (envInitDone_)
         return;
-    done = true;
+    envInitDone_ = true;
 
     Trace &t = instance();
     if (const char *ring = std::getenv("ROWSIM_TRACE_RING"); ring && *ring)

@@ -81,13 +81,23 @@ class Trace
 
     /**
      * One-time initialisation from the environment (ROWSIM_TRACE,
-     * ROWSIM_TRACE_FILE, ROWSIM_TRACE_JSON); idempotent. System calls
-     * this at construction so env-var tracing works for every bench and
-     * example without code changes. When ROWSIM_TRACE selects categories
-     * and ROWSIM_TRACE_JSON is unset, the Chrome trace defaults to
-     * "rowsim.trace.json" in the working directory.
+     * ROWSIM_TRACE_FILE, ROWSIM_TRACE_JSON); idempotent per thread.
+     * System calls this at construction so env-var tracing works for
+     * every bench and example without code changes. When ROWSIM_TRACE
+     * selects categories and ROWSIM_TRACE_JSON is unset, the Chrome
+     * trace defaults to "rowsim.trace.json" in the working directory.
      */
     static void initFromEnv();
+
+    /**
+     * Mark this thread's trace state as initialised-and-off, so a later
+     * initFromEnv() is a no-op. Sweep worker threads call this before
+     * constructing Systems: otherwise every worker would re-read
+     * ROWSIM_TRACE and open (and clobber) the same sink files
+     * concurrently. The main thread's sinks are unaffected — all trace
+     * state is thread-local.
+     */
+    static void disableThisThread();
 
     /** Programmatic configuration of the *sink* categories (tests,
      *  SystemParams). The effective gate mask also includes the ring
@@ -174,12 +184,16 @@ class Trace
     void emitJson(const std::string &record);
 
     // The mask and cycle are static so the inline gates touch no
-    // instance state (and need no instance() call). mask_ is the union
-    // of the sink categories and the ring categories.
-    static inline std::uint32_t mask_ = 0;
-    static inline std::uint32_t sinkMask_ = 0;
-    static inline std::uint32_t ringMask_ = 0;
-    static inline Cycle now_ = 0;
+    // instance state (and need no instance() call); thread_local so
+    // concurrent sweep workers each gate and stamp their own System
+    // without racing. mask_ is the union of the sink categories and the
+    // ring categories.
+    static inline thread_local std::uint32_t mask_ = 0;
+    static inline thread_local std::uint32_t sinkMask_ = 0;
+    static inline thread_local std::uint32_t ringMask_ = 0;
+    static inline thread_local Cycle now_ = 0;
+    /** Per-thread "initFromEnv already ran" latch. */
+    static inline thread_local bool envInitDone_ = false;
 
     std::FILE *textSink_ = nullptr; ///< nullptr -> stderr
     bool ownTextSink_ = false;

@@ -1024,6 +1024,7 @@ void
 Core::issueStage(Cycle now)
 {
     unsigned slots = params.issueWidth;
+    issueTruncated_ = false;
 
     // Re-attempt ops waiting on conditions (lazy atomics, fences, store
     // waits, barrier blocks) before the newly-ready ones.
@@ -1032,7 +1033,11 @@ Core::issueStage(Cycle now)
         still.reserve(waiting.size());
         std::sort(waiting.begin(), waiting.end());
         for (SeqNum seq : waiting) {
-            if (slots == 0 || !tryIssue(seq, now)) {
+            if (slots == 0) {
+                issueTruncated_ = true;
+                if (rob(seq).busy && !rob(seq).issued)
+                    still.push_back(seq);
+            } else if (!tryIssue(seq, now)) {
                 if (rob(seq).busy && !rob(seq).issued)
                     still.push_back(seq);
             } else {
@@ -1208,6 +1213,156 @@ Core::drained() const
 {
     return robCount() == 0 && sq.empty() && lq.empty() && aq.empty() &&
            completions.empty() && pendingUnlocks.empty();
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    const Cycle next_tick = now + 1;
+
+    // Work that would proceed on the very next tick: ready ops, a
+    // truncated issue pass, a committable ROB head, a drainable or
+    // freeable SB head.
+    if (!readyQueue.empty() || issueTruncated_)
+        return next_tick;
+
+    const SeqNum head_seq = commitSeq + 1;
+    if (inFlight(head_seq)) {
+        const RobEntry &e = rob(head_seq);
+        if (e.busy && e.seq == head_seq && e.completed) {
+            if (e.op.cls != OpClass::AtomicRMW)
+                return next_tick;
+            // Free Atomics commit rule: both conditions change only via
+            // events (fills, unlocks, SB writes), so a blocked atomic
+            // head contributes nothing here.
+            const AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+            if (a.locked && sq.sbEmpty())
+                return next_tick;
+        }
+    }
+
+    if (const SqEntry *h = sq.headEntry()) {
+        if (h->written ||
+            (h->committed && !h->writeInFlight && !h->isAtomic))
+            return next_tick;
+    }
+
+    Cycle next = invalidCycle;
+    auto consider = [&](Cycle c) {
+        if (c != invalidCycle)
+            next = std::min(next, std::max(c, next_tick));
+    };
+
+    if (!completions.empty())
+        consider(completions.begin()->first);
+    if (!pendingUnlocks.empty())
+        consider(pendingUnlocks.begin()->first);
+    // Waiting ops whose condition is met wake at their stamped re-issue
+    // cycle; unmet conditions change only via events.
+    for (SeqNum seq : waiting) {
+        if (!inFlight(seq))
+            continue;
+        const RobEntry &e = rob(seq);
+        if (!e.busy || e.issued || e.seq != seq)
+            continue;
+        switch (e.op.cls) {
+          case OpClass::AtomicRMW:
+            // Lazy/store-wait atomics carry an explicit re-issue stamp.
+            if (e.reissueReadyAt != invalidCycle) {
+                consider(e.reissueReadyAt);
+                break;
+            }
+            // Invalid stamp: either the wait condition is unmet (the
+            // clearing event — commit, SB drain, unlock, all before
+            // issue in tick order — re-stamps on the same-tick retry),
+            // or a due retry just ran atomicExecute, failed, and reset
+            // the stamp. In the latter case the condition can already
+            // hold, and the next tick's retry stamps now+delay — so the
+            // stamp value depends on when that tick runs. Evaluate the
+            // condition here: if it holds, the next tick is an event.
+            switch (e.astate) {
+              case AState::WaitLazy:
+                if (lazyConditionMet(e))
+                    consider(next_tick);
+                break;
+              case AState::WaitStore:
+                if (e.waitStoreSeq == 0) {
+                    consider(next_tick);
+                } else {
+                    bool pending = false;
+                    const_cast<StoreQueue &>(sq).forEach([&](SqEntry &s) {
+                        if (s.seq == e.waitStoreSeq && !s.written)
+                            pending = true;
+                    });
+                    if (!pending)
+                        consider(next_tick);
+                }
+                break;
+              default:
+                consider(next_tick);
+                break;
+            }
+            break;
+          case OpClass::Load: {
+            // Mirror tryIssueLoad's wait conditions without its side
+            // effects; a load blocked by none of them issues next tick.
+            if (blockedByBarrier(seq))
+                break; // barrier lifts at a commit (event-bounded)
+            auto &sq_mut = const_cast<StoreQueue &>(sq);
+            bool unknown_older = false;
+            const SqEntry *src =
+                sq_mut.forwardSource(seq, e.op.addr, unknown_older);
+            if (unknown_older && e.waitStoreSeq != 0 &&
+                e.waitStoreSeq < seq && inFlight(e.waitStoreSeq)) {
+                const RobEntry &st = rob(e.waitStoreSeq);
+                if (st.op.cls == OpClass::Store &&
+                    st.seq == e.waitStoreSeq && !st.issued)
+                    break; // wakes when that store issues (bounded)
+            }
+            if (src && !src->written &&
+                !(params.storeToLoadForwarding && src->valueReady))
+                break; // wakes when the store readies/writes (bounded)
+            consider(next_tick);
+            break;
+          }
+          case OpClass::Fence:
+            if (fenceConditionMet(e))
+                consider(next_tick);
+            // else: wakes via an older completion or write (bounded)
+            break;
+          default:
+            // Stores park here only behind a barrier; anything else is
+            // conservatively issuable next tick.
+            if (!blockedByBarrier(seq))
+                consider(next_tick);
+            break;
+        }
+    }
+    // Dispatch: when fetch is unblocked and resources are free, the core
+    // fetches/dispatches next tick (or when the redirect penalty ends).
+    // With resources full, dispatch resumes only after a commit (event).
+    if (fetchBlockedBy == 0 && !(halted && fetchBuffer.empty())) {
+        bool resources = robCount() < params.robEntries &&
+                         iqOccupancy < params.iqEntries;
+        if (resources && !fetchBuffer.empty()) {
+            switch (fetchBuffer.front().cls) {
+              case OpClass::Load:
+                resources = !lq.full();
+                break;
+              case OpClass::Store:
+                resources = !sq.full();
+                break;
+              case OpClass::AtomicRMW:
+                resources = !lq.full() && !sq.full() && !aq.full();
+                break;
+              default:
+                break;
+            }
+        }
+        if (resources)
+            consider(std::max(fetchBlockedUntil, next_tick));
+    }
+    return next;
 }
 
 bool

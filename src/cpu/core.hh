@@ -77,6 +77,17 @@ class Core : public MemClient
     /** True when the pipeline has fully drained. */
     bool drained() const;
 
+    /**
+     * Earliest future cycle at which this core can make progress with no
+     * external event (cache completion, snoop, fill) arriving first:
+     * the minimum over scheduled completions/unlocks, atomic re-issue
+     * delays, and next-tick work (ready ops, drainable SB head,
+     * committable ROB head, dispatchable fetch). invalidCycle when the
+     * core is fully quiescent. May be conservative (early), never late —
+     * System::run's idle fast-forward uses it as a skip bound.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     std::uint64_t committedInstructions() const { return committedInsts; }
     std::uint64_t committedIterations() const { return iterations; }
     std::uint64_t committedAtomics() const { return committedAtomicCount; }
@@ -247,6 +258,10 @@ class Core : public MemClient
     Cycle fetchBlockedUntil = 0;
     unsigned iqOccupancy = 0;
     bool halted = false;
+    /** issueStage ran out of slots before re-trying every waiting op, so
+     *  a waiting op's condition may be met without its reissueReadyAt
+     *  being stamped yet — nextEventCycle must not skip past next tick. */
+    bool issueTruncated_ = false;
 
     std::uint64_t committedInsts = 0;
     std::uint64_t committedAtomicCount = 0;

@@ -125,6 +125,11 @@ class StoreQueue
     const SqEntry &entry(unsigned idx) const { return slots[idx]; }
     /** Head entry (next to write); nullptr when empty. */
     SqEntry *headEntry();
+    const SqEntry *
+    headEntry() const
+    {
+        return count ? &slots[headIdx] : nullptr;
+    }
 
     /** Slot index of an entry obtained from this queue. */
     unsigned

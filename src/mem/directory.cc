@@ -329,6 +329,17 @@ Directory::idle() const
     return blockedLines == 0 && wake.empty() && stallBuffer.empty();
 }
 
+Cycle
+Directory::nextEventCycle(Cycle now) const
+{
+    Cycle next = invalidCycle;
+    if (stalledUntil != 0)
+        next = std::max(stalledUntil, now + 1);
+    if (!wake.empty())
+        next = std::min(next, std::max(wake.begin()->first, now + 1));
+    return next;
+}
+
 void
 Directory::injectStall(Cycle until)
 {

@@ -55,6 +55,11 @@ class Directory : public MsgHandler
     void tick(Cycle now);
     bool idle() const;
 
+    /** Earliest future cycle tick() would do anything absent new
+     *  deliveries: the next data-ready wake or the end of an injected
+     *  stall. invalidCycle when quiescent (fast-forward bound). */
+    Cycle nextEventCycle(Cycle now) const;
+
     void setOracleHook(OracleHook hook) { oracle = std::move(hook); }
 
     /** Directory state probe for tests. */

@@ -469,6 +469,28 @@ PrivateCache::idle() const
            deferredFills.empty();
 }
 
+Cycle
+PrivateCache::nextEventCycle(Cycle now) const
+{
+    // Deferred fills are retried every tick until a victim frees up.
+    if (!deferredFills.empty())
+        return now + 1;
+    Cycle next = invalidCycle;
+    auto consider = [&](Cycle c) {
+        if (c < next)
+            next = c;
+    };
+    if (!dueResults.empty())
+        consider(std::max(dueResults.begin()->first, now + 1));
+    // A stalled external becomes actionable the first tick strictly past
+    // the steal threshold; from then on the steal-attempt counter ticks
+    // every cycle, so the bound collapses to now+1 (no skipping while a
+    // steal is being attempted — the per-tick stat must keep advancing).
+    for (const auto &s : stalledExternals)
+        consider(std::max(s.arrival + lockStealThreshold + 1, now + 1));
+    return next;
+}
+
 bool
 PrivateCache::forceEvict(Addr line, Cycle now)
 {

@@ -123,6 +123,15 @@ class PrivateCache : public MsgHandler
     /** Advance internal events (scheduled completions, stall timeouts). */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle tick() would do anything absent new messages
+     * or accesses: the next due completion, a deferred-fill retry, or a
+     * stalled external crossing the lock-steal threshold (from which
+     * point the steal-attempt counter advances every tick). invalidCycle
+     * when fully quiescent. Conservative lower bound for fast-forward.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     void deliver(const Msg &msg, Cycle now) override;
 
     /** True when nothing is outstanding (quiesced; used by tests). */

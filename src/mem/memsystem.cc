@@ -31,6 +31,19 @@ MemSystem::tick(Cycle now)
         c->tick(now);
 }
 
+Cycle
+MemSystem::nextEventCycle(Cycle now) const
+{
+    Cycle next = net.nextDue();
+    if (next != invalidCycle && next <= now)
+        next = now + 1;
+    for (const auto &b : banks)
+        next = std::min(next, b->nextEventCycle(now));
+    for (const auto &c : caches)
+        next = std::min(next, c->nextEventCycle(now));
+    return next;
+}
+
 bool
 MemSystem::idle() const
 {

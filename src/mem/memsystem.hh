@@ -69,6 +69,11 @@ class MemSystem
     /** True when no message, miss, or transaction is outstanding. */
     bool idle() const;
 
+    /** Earliest future cycle any memory-side component does anything
+     *  (network delivery, cache completion, directory wake) absent new
+     *  core activity. invalidCycle when quiescent (fast-forward bound). */
+    Cycle nextEventCycle(Cycle now) const;
+
   private:
     Network net;
     FunctionalMemory fmem;

@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
@@ -37,7 +38,7 @@ Msg::toString() const
 }
 
 Network::Network(unsigned num_cores, const NetParams &p)
-    : numCores(num_cores), params(p),
+    : numCores(num_cores), numNodes(2 * num_cores), params(p),
       handlers(2 * static_cast<std::size_t>(num_cores), nullptr),
       stats_("network")
 {
@@ -45,6 +46,32 @@ Network::Network(unsigned num_cores, const NetParams &p)
     // mesh holds numCores tiles.
     meshX = static_cast<unsigned>(std::ceil(std::sqrt(num_cores)));
     meshY = (num_cores + meshX - 1) / meshX;
+
+    // Precompute the per-pair hop/latency tables and the point-to-point
+    // ordering fences once; the hot send() path then indexes flat arrays
+    // instead of walking a map and redoing Manhattan math per message.
+    const std::size_t pairs =
+        static_cast<std::size_t>(numNodes) * numNodes;
+    lastDelivery.assign(pairs, 0);
+    pairHops.resize(pairs);
+    pairLatency.resize(pairs);
+    for (NodeId s = 0; s < numNodes; s++) {
+        unsigned sx, sy;
+        coords(s, sx, sy);
+        for (NodeId d = 0; d < numNodes; d++) {
+            unsigned dx, dy;
+            coords(d, dx, dy);
+            auto dist = [](unsigned a, unsigned b) {
+                return a > b ? a - b : b - a;
+            };
+            const unsigned h = dist(sx, dx) + dist(sy, dy);
+            const std::size_t idx =
+                static_cast<std::size_t>(s) * numNodes + d;
+            pairHops[idx] = h;
+            // Same-tile messages still pay one router traversal.
+            pairLatency[idx] = params.hopLatency * (h + 1);
+        }
+    }
 }
 
 void
@@ -66,19 +93,19 @@ Network::coords(NodeId node, unsigned &x, unsigned &y) const
 unsigned
 Network::hops(NodeId a, NodeId b) const
 {
-    unsigned ax, ay, bx, by;
-    coords(a, ax, ay);
-    coords(b, bx, by);
-    auto d = [](unsigned p, unsigned q) { return p > q ? p - q : q - p; };
-    return d(ax, bx) + d(ay, by);
+    ROWSIM_ASSERT(a < numNodes && b < numNodes,
+                  "hops(%u, %u): node beyond the %u-node mesh", a, b,
+                  numNodes);
+    return pairHops[static_cast<std::size_t>(a) * numNodes + b];
 }
 
 Cycle
 Network::latency(NodeId a, NodeId b) const
 {
-    // Same-tile messages still pay one router traversal.
-    unsigned h = hops(a, b);
-    return params.hopLatency * (h + 1);
+    ROWSIM_ASSERT(a < numNodes && b < numNodes,
+                  "latency(%u, %u): node beyond the %u-node mesh", a, b,
+                  numNodes);
+    return pairLatency[static_cast<std::size_t>(a) * numNodes + b];
 }
 
 NodeId
@@ -90,18 +117,25 @@ Network::homeBank(Addr line) const
 void
 Network::send(Msg msg, Cycle now)
 {
+    // A misrouted message (unattached / out-of-range node) must die with
+    // a clean panic here, not UB-index the flat tables below.
+    ROWSIM_ASSERT(msg.src < numNodes && msg.dst < numNodes,
+                  "misrouted message %s: node beyond the %u-node mesh",
+                  msg.toString().c_str(), numNodes);
     msg.sent = now;
-    Cycle due = now + latency(msg.src, msg.dst);
+    const std::size_t pair =
+        static_cast<std::size_t>(msg.src) * numNodes + msg.dst;
+    Cycle due = now + pairLatency[pair];
     if (delayHook)
         due += delayHook(msg, now);
-    auto key = std::make_pair(msg.src, msg.dst);
-    auto it = lastDelivery.find(key);
-    if (it != lastDelivery.end() && due < it->second)
-        due = it->second; // preserve point-to-point ordering
-    lastDelivery[key] = due;
-    inFlight.push({due, nextOrder++, msg});
+    if (due < lastDelivery[pair])
+        due = lastDelivery[pair]; // preserve point-to-point ordering
+    lastDelivery[pair] = due;
+    inFlight.push_back({due, nextOrder++, msg});
+    std::push_heap(inFlight.begin(), inFlight.end(),
+                   std::greater<Pending>());
     stats_.counter("messages")++;
-    stats_.average("hops").sample(hops(msg.src, msg.dst));
+    stats_.average("hops").sample(pairHops[pair]);
     ROWSIM_TRACE(TraceCategory::Network, now, "inject %s due=%llu",
                  msg.toString().c_str(),
                  static_cast<unsigned long long>(due));
@@ -110,9 +144,11 @@ Network::send(Msg msg, Cycle now)
 void
 Network::tick(Cycle now)
 {
-    while (!inFlight.empty() && inFlight.top().due <= now) {
-        Pending p = inFlight.top();
-        inFlight.pop();
+    while (!inFlight.empty() && inFlight.front().due <= now) {
+        std::pop_heap(inFlight.begin(), inFlight.end(),
+                      std::greater<Pending>());
+        Pending p = inFlight.back();
+        inFlight.pop_back();
         MsgHandler *h = handlers[p.msg.dst];
         ROWSIM_ASSERT(h != nullptr, "no handler attached at node %u",
                       p.msg.dst);
@@ -137,25 +173,29 @@ Network::dumpDiag(std::FILE *out, Cycle now) const
 {
     std::fprintf(out, "{\"inFlight\":%zu,\"messages\":[",
                  inFlight.size());
-    // priority_queue has no iteration; copy it (crash path only).
-    auto copy = inFlight;
-    bool first = true;
-    std::size_t listed = 0;
-    while (!copy.empty() && listed < 64) {
-        const Pending &p = copy.top();
+    // Sort pointers to the oldest 64 entries instead of copying (and
+    // re-heapifying) every in-flight message on the crash path.
+    std::vector<const Pending *> byDue;
+    byDue.reserve(inFlight.size());
+    for (const Pending &p : inFlight)
+        byDue.push_back(&p);
+    const std::size_t listed = std::min<std::size_t>(byDue.size(), 64);
+    std::partial_sort(byDue.begin(), byDue.begin() + listed, byDue.end(),
+                      [](const Pending *a, const Pending *b) {
+                          return *b > *a;
+                      });
+    for (std::size_t i = 0; i < listed; i++) {
+        const Pending &p = *byDue[i];
         std::fprintf(out,
                      "%s{\"type\":\"%s\",\"line\":\"%#llx\",\"src\":%u,"
                      "\"dst\":%u,\"sent\":%llu,\"due\":%llu,\"age\":%llu}",
-                     first ? "" : ",", msgTypeName(p.msg.type),
+                     i ? "," : "", msgTypeName(p.msg.type),
                      static_cast<unsigned long long>(p.msg.line),
                      p.msg.src, p.msg.dst,
                      static_cast<unsigned long long>(p.msg.sent),
                      static_cast<unsigned long long>(p.due),
                      static_cast<unsigned long long>(
                          now >= p.msg.sent ? now - p.msg.sent : 0));
-        first = false;
-        listed++;
-        copy.pop();
     }
     std::fprintf(out, "]%s}",
                  inFlight.size() > 64 ? ",\"truncated\":true" : "");

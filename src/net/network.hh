@@ -14,8 +14,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <map>
-#include <queue>
 #include <vector>
 
 #include "common/config.hh"
@@ -55,7 +53,7 @@ class Network
     Cycle
     nextDue() const
     {
-        return inFlight.empty() ? invalidCycle : inFlight.top().due;
+        return inFlight.empty() ? invalidCycle : inFlight.front().due;
     }
 
     /**
@@ -96,14 +94,24 @@ class Network
     void coords(NodeId node, unsigned &x, unsigned &y) const;
 
     unsigned numCores;
+    unsigned numNodes;   ///< 2 * numCores: cores then banks
     unsigned meshX, meshY;
     NetParams params;
 
     std::vector<MsgHandler *> handlers;
-    std::priority_queue<Pending, std::vector<Pending>,
-                        std::greater<Pending>> inFlight;
-    /** Last delivery cycle per (src,dst) to enforce point-to-point order. */
-    std::map<std::pair<NodeId, NodeId>, Cycle> lastDelivery;
+    /** Min-heap on (due, order) kept via std::push_heap/pop_heap; a raw
+     *  vector (unlike std::priority_queue) lets dumpDiag walk it without
+     *  copying every in-flight message on the crash path. */
+    std::vector<Pending> inFlight;
+    /** Last delivery cycle per (src,dst), flat-indexed src*numNodes+dst,
+     *  enforcing point-to-point order. 0 (never delivered) is a no-op
+     *  lower bound, so no occupancy map is needed. */
+    std::vector<Cycle> lastDelivery;
+    /** Precomputed one-way latency per (src,dst), same flat indexing, so
+     *  send() does no Manhattan math. */
+    std::vector<Cycle> pairLatency;
+    /** Precomputed hop count per (src,dst) for the hops stat. */
+    std::vector<unsigned> pairHops;
     std::uint64_t nextOrder = 0;
     DelayHook delayHook;
 

@@ -71,7 +71,9 @@ Checker::Checker(System *system, Cycle interval)
 void
 Checker::initFromEnv()
 {
-    static bool done = false;
+    // Per-thread, like the mask itself: sweep workers re-run the env
+    // parse so ROWSIM_CHECK applies to their Systems too.
+    static thread_local bool done = false;
     if (done)
         return;
     done = true;

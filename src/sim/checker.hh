@@ -105,6 +105,8 @@ class Checker
 
     std::uint64_t sweepsRun() const { return sweeps_; }
     Cycle interval() const { return interval_; }
+    /** First cycle at which tick() would sweep again (service hoist). */
+    Cycle nextSweepAt() const { return lastSweep_ + interval_; }
 
   private:
     void checkSwmr(Cycle now);
@@ -118,7 +120,9 @@ class Checker
     Cycle lastSweep_ = 0;
     std::uint64_t sweeps_ = 0;
 
-    static inline std::uint32_t mask_ = 0;
+    // Thread-local like the trace mask: each sweep worker carries its
+    // own check mask, so concurrent Systems gate independently.
+    static inline thread_local std::uint32_t mask_ = 0;
 };
 
 /**

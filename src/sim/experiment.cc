@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/log.hh"
 #include "sim/profiles.hh"
@@ -44,6 +45,11 @@ RunResult::toJson() const
 void
 writeRunReport(const RunResult &r, const std::string &path)
 {
+    // Sweep workers report concurrently; serialize so every JSON line
+    // lands intact (append-mode writes interleave at the stdio level).
+    static std::mutex reportMutex;
+    std::lock_guard<std::mutex> lock(reportMutex);
+
     const std::string line = r.toJson();
     if (path == "-") {
         std::fprintf(stdout, "%s\n", line.c_str());
@@ -163,7 +169,8 @@ namespace
 /** Run @p workload on a fully-specified system and harvest the metrics. */
 RunResult
 runAndCollect(const std::string &workload, const SystemParams &sp,
-              const std::string &label, std::uint64_t quota)
+              const std::string &label, std::uint64_t quota,
+              bool capture_stats)
 {
     const WorkloadProfile profile = profileFor(workload);
     if (quota == 0)
@@ -215,6 +222,21 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     r.eagerIssued = sys.totalCounter("atomicsIssuedEager");
     r.lazyIssued = sys.totalCounter("atomicsIssuedLazy");
 
+    if (capture_stats) {
+        // Render the full stats tree into memory while the System is
+        // still alive (sweeps compare these dumps byte-for-byte).
+        char *buf = nullptr;
+        std::size_t len = 0;
+        if (std::FILE *mem = open_memstream(&buf, &len)) {
+            sys.dumpStatsJson(mem);
+            std::fclose(mem);
+            r.statsJson.assign(buf, len);
+            std::free(buf);
+        } else {
+            ROWSIM_WARN("open_memstream failed; statsJson not captured");
+        }
+    }
+
     // ROWSIM_REPORT=<path>: append a one-line JSON report per run (any
     // bench or test), "-" for stdout. Lets figure scripts collect every
     // run without touching the harness call sites.
@@ -243,17 +265,19 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
 
 RunResult
 runExperiment(const std::string &workload, const ExpConfig &cfg,
-              unsigned num_cores, std::uint64_t quota, std::uint64_t seed)
+              unsigned num_cores, std::uint64_t quota, std::uint64_t seed,
+              bool capture_stats)
 {
     return runAndCollect(workload, makeParams(cfg, num_cores, seed),
-                         cfg.label, quota);
+                         cfg.label, quota, capture_stats);
 }
 
 RunResult
 runExperimentParams(const std::string &workload, const SystemParams &params,
-                    const std::string &label, std::uint64_t quota)
+                    const std::string &label, std::uint64_t quota,
+                    bool capture_stats)
 {
-    return runAndCollect(workload, params, label, quota);
+    return runAndCollect(workload, params, label, quota, capture_stats);
 }
 
 } // namespace rowsim

@@ -69,7 +69,14 @@ struct RunResult
     std::uint64_t eagerIssued = 0;
     std::uint64_t lazyIssued = 0;
 
-    /** One-line JSON object with every field above (run reports). */
+    /** Full System::dumpStatsJson output, captured before the System is
+     *  destroyed. Empty unless the run was asked to capture it
+     *  (runExperiment's capture_stats / SweepJob::captureStatsJson) —
+     *  it is large, and most callers only want the summary metrics. */
+    std::string statsJson;
+
+    /** One-line JSON object with every field above except statsJson
+     *  (run reports). */
     std::string toJson() const;
 };
 
@@ -88,10 +95,11 @@ std::vector<ExpConfig> fig9Configs();
 /**
  * Run @p workload under @p cfg.
  * @param quota per-core iterations (0: the workload's default)
+ * @param capture_stats fill RunResult::statsJson with the full stats tree
  */
 RunResult runExperiment(const std::string &workload, const ExpConfig &cfg,
                         unsigned num_cores = 32, std::uint64_t quota = 0,
-                        std::uint64_t seed = 1);
+                        std::uint64_t seed = 1, bool capture_stats = false);
 
 /** Build the SystemParams for a config (exposed for tests). */
 SystemParams makeParams(const ExpConfig &cfg, unsigned num_cores,
@@ -105,7 +113,8 @@ SystemParams makeParams(const ExpConfig &cfg, unsigned num_cores,
 RunResult runExperimentParams(const std::string &workload,
                               const SystemParams &params,
                               const std::string &label,
-                              std::uint64_t quota = 0);
+                              std::uint64_t quota = 0,
+                              bool capture_stats = false);
 
 } // namespace rowsim
 

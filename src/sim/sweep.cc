@@ -1,0 +1,90 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+
+namespace rowsim
+{
+
+SweepEngine::SweepEngine(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0)
+        threads_ = defaultThreads();
+}
+
+unsigned
+SweepEngine::defaultThreads()
+{
+    if (const char *env = std::getenv("ROWSIM_SWEEP_THREADS");
+        env && *env) {
+        const unsigned n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        return n ? n : 1;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<RunResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<RunResult> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    std::atomic<std::size_t> nextJob{0};
+
+    auto worker = [&]() {
+        // Multiple concurrent Systems would race on the shared trace
+        // sink files (text log, Chrome JSON); a sweep worker's runs are
+        // untraced. Stats are unaffected — tracing is observe-only.
+        Trace::disableThisThread();
+        for (;;) {
+            const std::size_t i =
+                nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const SweepJob &job = jobs[i];
+            try {
+                results[i] = runExperiment(job.workload, job.cfg,
+                                           job.numCores, job.quota,
+                                           job.seed, job.captureStatsJson);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    // Always run jobs on pool threads — a 1-thread sweep takes exactly
+    // the code path of an 8-thread sweep, so serial-vs-parallel
+    // comparisons differ only in scheduling.
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; t++)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    // Deterministic failure reporting: first failed job in submission
+    // order, independent of which worker hit it first.
+    for (std::size_t i = 0; i < errors.size(); i++) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+    return results;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &jobs)
+{
+    return SweepEngine().run(jobs);
+}
+
+} // namespace rowsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parallel deterministic sweep engine.
+ *
+ * Figure reproductions are embarrassingly parallel: dozens of fully
+ * independent (workload, config) simulations whose results are only
+ * combined at print time. The engine runs them on a pool of worker
+ * threads and returns RunResults in submission order.
+ *
+ * Determinism: each simulation is a pure function of its SweepJob — a
+ * System touches no cross-run mutable state (trace sinks, checker
+ * masks, and panic hooks are thread-local; see DESIGN.md "Performance &
+ * threading model"), so parallel results are bit-identical to running
+ * the same jobs serially, whatever the thread count or scheduling.
+ */
+
+#ifndef ROWSIM_SIM_SWEEP_HH
+#define ROWSIM_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace rowsim
+{
+
+/** One independent simulation in a sweep. */
+struct SweepJob
+{
+    std::string workload;
+    ExpConfig cfg;
+    unsigned numCores = 32;
+    /** Per-core iterations; 0 = the workload's default quota. */
+    std::uint64_t quota = 0;
+    std::uint64_t seed = 1;
+    /** Capture System::dumpStatsJson into RunResult::statsJson
+     *  (determinism audits; large, so off by default). */
+    bool captureStatsJson = false;
+};
+
+/**
+ * Fixed-size thread pool running SweepJobs.
+ *
+ * Workers claim jobs in submission order from a shared index, so a
+ * sweep of N jobs on T threads keeps all T busy until the tail. Worker
+ * threads disable tracing for themselves (concurrent Systems would
+ * clobber each other's sink files); everything else — run reports,
+ * crash dumps — is serialized internally and safe.
+ */
+class SweepEngine
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks defaultThreads().
+     */
+    explicit SweepEngine(unsigned threads = 0);
+
+    /**
+     * Run every job and return results in submission order (results[i]
+     * belongs to jobs[i]). If any job panics/throws, the first failure
+     * in submission order is rethrown after all workers have stopped.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &jobs);
+
+    unsigned threads() const { return threads_; }
+
+    /** ROWSIM_SWEEP_THREADS when set (0 = serial fallback of 1), else
+     *  std::thread::hardware_concurrency(), else 1. */
+    static unsigned defaultThreads();
+
+  private:
+    unsigned threads_;
+};
+
+/** Convenience: run @p jobs on defaultThreads() workers. */
+std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs);
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_SWEEP_HH

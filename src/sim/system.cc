@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 #include "common/log.hh"
 #include "common/trace.hh"
@@ -40,6 +42,24 @@ System::System(const SystemParams &params,
 
     setupObservability();
     setupSelfChecking();
+
+    // Idle fast-forward: params default, ROWSIM_FF env override, and a
+    // hard disable under fault injection (the injector draws from its
+    // RNG every cycle, so eliding ticks would change the fault
+    // schedule).
+    ffMode_ = params_.idleFastForward ? FastForward::On : FastForward::Off;
+    if (const char *env = std::getenv("ROWSIM_FF"); env && *env) {
+        if (std::strcmp(env, "0") == 0)
+            ffMode_ = FastForward::Off;
+        else if (std::strcmp(env, "1") == 0)
+            ffMode_ = FastForward::On;
+        else if (std::strcmp(env, "check") == 0)
+            ffMode_ = FastForward::Check;
+        else
+            ROWSIM_FATAL("bad ROWSIM_FF '%s' (valid: 0, 1, check)", env);
+    }
+    if (faults_)
+        ffMode_ = FastForward::Off;
 
     // Every panic — checker violation, watchdog fire, protocol assert —
     // dumps the diagnostics snapshot before unwinding.
@@ -207,12 +227,149 @@ System::tick()
     memsys.tick(currentCycle);
     for (auto &c : cores)
         c->tick(currentCycle);
+    // Rare services (interval sample, checker sweep, watchdog scan) are
+    // hoisted behind one precomputed deadline comparison.
+    if (currentCycle >= nextServiceCycle_)
+        serviceTick();
+}
+
+void
+System::serviceTick()
+{
     if (intervalStats_.enabled())
         intervalStats_.tick(currentCycle);
     if (Checker::anyEnabled())
         checker_->tick(currentCycle);
     if (currentCycle - lastWatchdogScan_ >= watchdogPeriod_)
         watchdogScan();
+    recomputeNextService();
+}
+
+void
+System::recomputeNextService()
+{
+    // The watchdog deadline is always finite, bounding both the service
+    // gap and the fast-forward skip length.
+    Cycle next = lastWatchdogScan_ + watchdogPeriod_;
+    if (intervalStats_.enabled())
+        next = std::min(next, intervalStats_.nextSampleAt());
+    if (Checker::anyEnabled())
+        next = std::min(next, checker_->nextSweepAt());
+    nextServiceCycle_ = next;
+}
+
+Cycle
+System::nextEventCycle() const
+{
+    // Cores answer "busy, tick next cycle" with a handful of flag
+    // checks, so scan them first and bail as soon as the running min
+    // collapses to the next tick — no skip is possible then and the
+    // (pricier) memory-side scan would be wasted work.
+    const Cycle next_tick = currentCycle + 1;
+    Cycle next = nextServiceCycle_;
+    for (const auto &c : cores) {
+        next = std::min(next, c->nextEventCycle(currentCycle));
+        if (next <= next_tick)
+            return next;
+    }
+    return std::min(next, memsys.nextEventCycle(currentCycle));
+}
+
+void
+System::maybeFastForward()
+{
+    const Cycle next = nextEventCycle();
+    if (next == invalidCycle || next <= currentCycle + 1) {
+        // Busy phases cluster: double the probe interval (up to 64
+        // ticks) on consecutive failures. A late probe only shortens a
+        // skip, never changes simulated behaviour.
+        ffBackoffLen_ = std::min<Cycle>(ffBackoffLen_ ? ffBackoffLen_ * 2 : 4,
+                                        64);
+        ffBackoff_ = ffBackoffLen_;
+        return;
+    }
+    ffBackoffLen_ = 0;
+    if (ffMode_ == FastForward::Check) {
+        auto &self = const_cast<System &>(*this);
+        auto dumpAll = [&]() {
+            std::string s;
+            auto addGroup = [&](const StatGroup &g) {
+                for (const auto &kv : g.counters())
+                    s += g.name() + "." + kv.first + "=" +
+                         std::to_string(kv.second.value()) + "\n";
+                for (const auto &kv : g.averages())
+                    s += g.name() + "." + kv.first + "=" +
+                         std::to_string(kv.second.count()) + ":" +
+                         std::to_string(kv.second.sum()) + "\n";
+            };
+            addGroup(simStats_);
+            for (CoreId c = 0; c < cores.size(); c++) {
+                addGroup(self.core(c).stats());
+                addGroup(self.core(c).branchPredictor().stats());
+                addGroup(self.core(c).predictor().stats());
+                addGroup(self.mem().cache(c).stats());
+            }
+            for (unsigned b = 0; b < self.mem().numBanks(); b++)
+                addGroup(self.mem().directory(b).stats());
+            addGroup(self.mem().network().stats());
+            return s;
+        };
+        const std::string before = dumpAll();
+        // Equivalence assert: tick through the predicted-idle window and
+        // verify nothing the skip would elide actually happens.
+        const std::uint64_t insts = totalInstructions();
+        const std::uint64_t atomics = totalAtomics();
+        const std::uint64_t delivered =
+            memsys.network().stats().counterValue("delivered");
+        std::uint64_t steals = 0;
+        for (CoreId c = 0; c < cores.size(); c++) {
+            steals += memsys.cache(c).stats()
+                          .counterValue("stealAttempts");
+        }
+        const Cycle from = currentCycle;
+        while (currentCycle < next - 1)
+            tick();
+        std::uint64_t steals_after = 0;
+        for (CoreId c = 0; c < cores.size(); c++) {
+            steals_after += memsys.cache(c).stats()
+                                .counterValue("stealAttempts");
+        }
+        if (totalInstructions() != insts || totalAtomics() != atomics ||
+            memsys.network().stats().counterValue("delivered") !=
+                delivered ||
+            steals_after != steals) {
+            ROWSIM_PANIC("[ff-check] cycles %llu..%llu were predicted "
+                         "idle but committed work (insts %llu->%llu, "
+                         "atomics %llu->%llu)",
+                         static_cast<unsigned long long>(from + 1),
+                         static_cast<unsigned long long>(next - 1),
+                         static_cast<unsigned long long>(insts),
+                         static_cast<unsigned long long>(
+                             totalInstructions()),
+                         static_cast<unsigned long long>(atomics),
+                         static_cast<unsigned long long>(totalAtomics()));
+        }
+        const std::string after = dumpAll();
+        if (before != after) {
+            std::size_t p = 0;
+            while (p < before.size() && p < after.size() &&
+                   before[p] == after[p])
+                p++;
+            std::fprintf(stderr, "[ff-check] stats drift in window "
+                         "%llu..%llu near: %.120s\n",
+                         static_cast<unsigned long long>(from + 1),
+                         static_cast<unsigned long long>(next - 1),
+                         before.substr(p > 60 ? p - 60 : 0, 120).c_str());
+            ROWSIM_PANIC("[ff-check] full-stats drift");
+        }
+        return;
+    }
+    ROWSIM_TRACE(TraceCategory::Pipeline, currentCycle,
+                 "ff skip %llu..%llu",
+                 static_cast<unsigned long long>(currentCycle + 1),
+                 static_cast<unsigned long long>(next - 1));
+    ffSkipped_ += next - 1 - currentCycle;
+    currentCycle = next - 1;
 }
 
 void
@@ -305,6 +462,12 @@ System::run(std::uint64_t iter_quota)
         // Deadlock detection lives in watchdogScan() (called from
         // tick()): per-core commit progress plus per-structure ages,
         // so a fire names the stuck component.
+        if (ffMode_ != FastForward::Off) {
+            if (ffBackoff_ == 0)
+                maybeFastForward();
+            else
+                ffBackoff_--;
+        }
     }
 }
 
@@ -411,6 +574,11 @@ System::dumpCrashDiagnostics(const char *reason)
     if (dumpingCrash_)
         return; // a panic inside the dump must not recurse
     dumpingCrash_ = true;
+    // Serialise whole dumps across threads: concurrent sweep workers
+    // panicking together must not interleave marker pairs on stderr or
+    // racily clobber the ROWSIM_CRASH_JSON file.
+    static std::mutex crashDumpMutex;
+    std::lock_guard<std::mutex> lock(crashDumpMutex);
     std::fprintf(stderr, "=== ROWSIM CRASH DUMP BEGIN ===\n");
     emitCrashJson(stderr, reason);
     std::fprintf(stderr, "\n=== ROWSIM CRASH DUMP END ===\n");

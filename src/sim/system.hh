@@ -97,6 +97,11 @@ class System
     /** One-line "what is stuck" summary naming un-quiesced components. */
     std::string stuckSummary();
 
+    /** Cycles elided by the idle fast-forward so far (perf telemetry;
+     *  deliberately not a statistic, so stats dumps are bit-identical
+     *  with fast-forward on and off). */
+    Cycle fastForwardedCycles() const { return ffSkipped_; }
+
     /** Sum of a per-core counter across all cores. */
     std::uint64_t totalCounter(const std::string &name) const;
     /** Count-weighted mean of a per-core Average across all cores. */
@@ -107,7 +112,28 @@ class System
     std::uint64_t totalAtomics() const;
 
   private:
+    /** Fast-forward operating mode (params + ROWSIM_FF env). */
+    enum class FastForward : std::uint8_t
+    {
+        Off,
+        On,
+        /** Equivalence-assert mode: tick through each predicted idle
+         *  window and panic if any instruction would have committed. */
+        Check,
+    };
+
     void tick();
+    /** Rare per-tick services (interval sample, checker sweep, watchdog
+     *  scan), entered only when currentCycle reaches the precomputed
+     *  nextServiceCycle_ — the common-case tick does one comparison. */
+    void serviceTick();
+    void recomputeNextService();
+    /** Earliest cycle anything can happen absent new work; invalidCycle
+     *  when fully quiescent. */
+    Cycle nextEventCycle() const;
+    /** Jump currentCycle to just before the next event when the whole
+     *  system is idle (run() only). */
+    void maybeFastForward();
     /** Apply trace/interval-stats configuration (params + env vars). */
     void setupObservability();
     /** Wire the invariant checker and fault injector (params + env). */
@@ -136,6 +162,20 @@ class System
     Cycle lastWatchdogScan_ = 0;
     Cycle lastStructScan_ = 0;
     bool dumpingCrash_ = false;
+
+    /** Next cycle any rare service (interval sample, checker sweep,
+     *  watchdog scan) is due; 0 forces a recompute on the first tick. */
+    Cycle nextServiceCycle_ = 0;
+    FastForward ffMode_ = FastForward::On;
+    Cycle ffSkipped_ = 0;
+    /** Ticks to wait before the next skip attempt. A failed attempt
+     *  (something is schedulable next tick) costs an O(cores) scan, so
+     *  busy phases back off instead of paying it every tick; skipping
+     *  later or less is always result-equivalent. */
+    Cycle ffBackoff_ = 0;
+    /** Current backoff magnitude; doubles on consecutive failed probes
+     *  (capped), resets to 0 on a successful skip. */
+    Cycle ffBackoffLen_ = 0;
 
     std::unique_ptr<Checker> checker_;
     std::unique_ptr<FaultInjector> faults_;

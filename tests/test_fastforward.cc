@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Idle fast-forward equivalence tests: skipping quiescent cycles must
+ * never change a simulated result. Every (workload, policy) case runs
+ * with ROWSIM_FF=0 and ROWSIM_FF=1 and the full stats tree must be
+ * byte-identical; check mode (tick-through + per-window audit) must run
+ * panic-free; fault injection must force fast-forward off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+RunResult
+runWithFF(const char *ff, const std::string &w, const ExpConfig &cfg,
+          std::uint64_t quota, unsigned cores = 16)
+{
+    ::setenv("ROWSIM_FF", ff, 1);
+    RunResult r = runExperiment(w, cfg, cores, quota, 1,
+                                /*capture_stats=*/true);
+    ::unsetenv("ROWSIM_FF");
+    return r;
+}
+
+} // namespace
+
+TEST(FastForward, OnOffBitIdenticalAcrossPolicySuite)
+{
+    struct Case
+    {
+        const char *workload;
+        ExpConfig cfg;
+        std::uint64_t quota;
+    };
+    const Case cases[] = {
+        // Both contention extremes under every policy: idle windows are
+        // longest on the lazy/contended runs, shortest on eager ones.
+        {"pc", eagerConfig(), 60},
+        {"pc", lazyConfig(), 60},
+        {"pc", rowConfig(ContentionDetector::RWDir,
+                         PredictorUpdate::SaturateOnContention), 60},
+        {"canneal", eagerConfig(), 80},
+        {"canneal", lazyConfig(), 80},
+        {"cq", rowConfig(ContentionDetector::RWDir,
+                         PredictorUpdate::UpDown, true), 60},
+        {"tpcc", fencedConfig(), 40},
+        {"streamcluster", rowConfig(ContentionDetector::RW,
+                                    PredictorUpdate::UpDown), 40},
+    };
+    for (const Case &c : cases) {
+        RunResult off = runWithFF("0", c.workload, c.cfg, c.quota);
+        RunResult on = runWithFF("1", c.workload, c.cfg, c.quota);
+        EXPECT_EQ(off.cycles, on.cycles)
+            << c.workload << "/" << c.cfg.label;
+        EXPECT_EQ(off.statsJson, on.statsJson)
+            << c.workload << "/" << c.cfg.label;
+    }
+}
+
+TEST(FastForward, CheckModeAuditsCleanAndMatchesOff)
+{
+    // check mode ticks through every predicted-idle window and panics
+    // on any counter/average drift; its results must equal FF-off.
+    const ExpConfig row = rowConfig(
+        ContentionDetector::RWDir, PredictorUpdate::SaturateOnContention);
+    RunResult off = runWithFF("0", "pc", row, 60);
+    RunResult chk = runWithFF("check", "pc", row, 60);
+    EXPECT_EQ(off.cycles, chk.cycles);
+    EXPECT_EQ(off.statsJson, chk.statsJson);
+}
+
+TEST(FastForward, ForcedOffUnderFaultInjection)
+{
+    // The injector draws from its RNG every cycle, so eliding ticks
+    // would change the fault schedule; System must ignore ROWSIM_FF=1
+    // when faults are enabled and produce the FF=0 result.
+    SystemParams sp = makeParams(eagerConfig(), 8, 1);
+    sp.faultCategories = "netdelay,evict";
+    sp.faultSeed = 1234;
+    sp.faultRate = 50;
+
+    ::setenv("ROWSIM_FF", "0", 1);
+    RunResult off = runExperimentParams("pc", sp, "faults_ff0", 40, true);
+    ::setenv("ROWSIM_FF", "1", 1);
+    RunResult on = runExperimentParams("pc", sp, "faults_ff1", 40, true);
+    ::unsetenv("ROWSIM_FF");
+
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.statsJson, on.statsJson);
+}
+
+TEST(FastForward, SkipsActuallyHappenOnIdleWorkloads)
+{
+    // Guard against the optimization silently disabling itself: a lazy
+    // contended run spends most of its time waiting and must fast-forward
+    // a nontrivial share of its cycles.
+    ::setenv("ROWSIM_FF", "1", 1);
+    SystemParams sp = makeParams(lazyConfig(), 16, 1);
+    System sys(sp, makeStreams(profileFor("pc"), sp.numCores, sp.seed));
+    sys.run(60);
+    ::unsetenv("ROWSIM_FF");
+    EXPECT_GT(sys.fastForwardedCycles(), 0u);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sweep-engine tests: parallel execution must be bit-identical to
+ * serial (full stats tree, not just headline cycles), results must come
+ * back in submission order, thread-count selection must honour the env
+ * override, and a failing job must surface as the rethrown first error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/sweep.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+/** ≥8 distinct configs x 2 seeds, spanning both contention extremes and
+ *  every policy family; small quotas keep the suite fast. */
+std::vector<SweepJob>
+jobMatrix()
+{
+    const ExpConfig configs[] = {
+        eagerConfig(),
+        eagerConfig(true),
+        lazyConfig(),
+        fencedConfig(),
+        rowConfig(ContentionDetector::EW, PredictorUpdate::UpDown),
+        rowConfig(ContentionDetector::RW,
+                  PredictorUpdate::SaturateOnContention),
+        rowConfig(ContentionDetector::RWDir, PredictorUpdate::UpDown),
+        rowConfig(ContentionDetector::RWDir,
+                  PredictorUpdate::SaturateOnContention, true),
+    };
+    const char *workloads[] = {"pc", "canneal", "cq", "tpcc",
+                               "sps", "freqmine", "barnes", "tatp"};
+    std::vector<SweepJob> jobs;
+    unsigned i = 0;
+    for (const ExpConfig &cfg : configs) {
+        for (std::uint64_t seed : {1ull, 7ull}) {
+            SweepJob j;
+            j.workload = workloads[i % 8];
+            j.cfg = cfg;
+            j.numCores = 8;
+            j.quota = 40;
+            j.seed = seed;
+            j.captureStatsJson = true;
+            jobs.push_back(std::move(j));
+        }
+        i++;
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelBitIdenticalToSerial)
+{
+    const std::vector<SweepJob> jobs = jobMatrix();
+    ASSERT_GE(jobs.size(), 16u);
+
+    std::vector<RunResult> serial = SweepEngine(1).run(jobs);
+    std::vector<RunResult> parallel = SweepEngine(8).run(jobs);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        EXPECT_EQ(serial[k].cycles, parallel[k].cycles) << k;
+        EXPECT_FALSE(serial[k].statsJson.empty()) << k;
+        EXPECT_EQ(serial[k].statsJson, parallel[k].statsJson)
+            << jobs[k].workload << "/" << jobs[k].cfg.label << " seed "
+            << jobs[k].seed;
+    }
+}
+
+TEST(Sweep, ResultsInSubmissionOrder)
+{
+    std::vector<SweepJob> jobs;
+    for (const char *w : {"pc", "canneal", "cq"}) {
+        SweepJob j;
+        j.workload = w;
+        j.cfg = eagerConfig();
+        j.numCores = 8;
+        j.quota = 30;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<RunResult> results = SweepEngine(3).run(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t k = 0; k < jobs.size(); ++k)
+        EXPECT_EQ(results[k].workload, jobs[k].workload);
+}
+
+TEST(Sweep, MatchesDirectRunExperiment)
+{
+    SweepJob j;
+    j.workload = "tpcc";
+    j.cfg = lazyConfig();
+    j.numCores = 8;
+    j.quota = 40;
+    j.captureStatsJson = true;
+    std::vector<RunResult> viaSweep = SweepEngine(4).run({j});
+    RunResult direct = runExperiment(j.workload, j.cfg, j.numCores,
+                                     j.quota, j.seed, true);
+    ASSERT_EQ(viaSweep.size(), 1u);
+    EXPECT_EQ(viaSweep[0].cycles, direct.cycles);
+    EXPECT_EQ(viaSweep[0].statsJson, direct.statsJson);
+}
+
+TEST(Sweep, FirstErrorInSubmissionOrderIsRethrown)
+{
+    std::vector<SweepJob> jobs;
+    SweepJob good;
+    good.workload = "canneal";
+    good.cfg = eagerConfig();
+    good.numCores = 8;
+    good.quota = 20;
+    jobs.push_back(good);
+    SweepJob bad = good;
+    bad.workload = "no-such-workload";
+    jobs.push_back(bad);
+    jobs.push_back(good);
+    EXPECT_THROW(SweepEngine(2).run(jobs), std::runtime_error);
+}
+
+TEST(Sweep, DefaultThreadsHonoursEnvOverride)
+{
+    ::setenv("ROWSIM_SWEEP_THREADS", "3", 1);
+    EXPECT_EQ(SweepEngine::defaultThreads(), 3u);
+    EXPECT_EQ(SweepEngine(0).threads(), 3u);
+    ::setenv("ROWSIM_SWEEP_THREADS", "0", 1);
+    EXPECT_EQ(SweepEngine::defaultThreads(), 1u);
+    ::unsetenv("ROWSIM_SWEEP_THREADS");
+    EXPECT_GE(SweepEngine::defaultThreads(), 1u);
+}
