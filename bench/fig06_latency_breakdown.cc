@@ -8,6 +8,11 @@
  * oldest memory instruction with an empty SB) for much smaller orange
  * (acquisition) and yellow (lock-held) segments; on contended workloads
  * the eager issue->lock segment explodes.
+ *
+ * Runs with the "pcs" profile category on so the per-phase histograms
+ * exist, and reports the tail (p50/p90/p99) of the acquisition phase
+ * alongside the means — contention shows up in the tail long before it
+ * moves the mean.
  */
 
 #include "bench/bench_common.hh"
@@ -18,18 +23,31 @@ using namespace rowsim::bench;
 namespace
 {
 
+/** The fig06 bars run profiled; the label suffix keeps the run cache
+ *  (bench_common) from conflating them with unprofiled runs of the
+ *  same workload elsewhere in the suite. */
+ExpConfig
+profiled(ExpConfig c)
+{
+    c.label += "+prof";
+    c.profile = "pcs";
+    return c;
+}
+
 void
 breakdown(benchmark::State &state, const std::string &workload)
 {
     for (auto _ : state) {
-        const RunResult &e = cachedRun(workload, eagerConfig());
-        const RunResult &l = cachedRun(workload, lazyConfig());
+        const RunResult &e = cachedRun(workload, profiled(eagerConfig()));
+        const RunResult &l = cachedRun(workload, profiled(lazyConfig()));
         state.counters["eager_d2i"] = e.dispatchToIssue;
         state.counters["eager_i2l"] = e.issueToLock;
         state.counters["eager_l2u"] = e.lockToUnlock;
+        state.counters["eager_i2l_p99"] = e.issueToLockP99;
         state.counters["lazy_d2i"] = l.dispatchToIssue;
         state.counters["lazy_i2l"] = l.issueToLock;
         state.counters["lazy_l2u"] = l.lockToUnlock;
+        state.counters["lazy_i2l_p99"] = l.issueToLockP99;
         auto &t = table("Fig. 6 — atomic latency breakdown (cycles)");
         t.cell(workload, "E:disp->iss", e.dispatchToIssue);
         t.cell(workload, "E:iss->lock", e.issueToLock);
@@ -37,13 +55,20 @@ breakdown(benchmark::State &state, const std::string &workload)
         t.cell(workload, "L:disp->iss", l.dispatchToIssue);
         t.cell(workload, "L:iss->lock", l.issueToLock);
         t.cell(workload, "L:lock->unl", l.lockToUnlock);
+        auto &p = table("Fig. 6 — acquisition tail (issue->lock cycles)");
+        p.cell(workload, "E:p50", e.issueToLockP50);
+        p.cell(workload, "E:p90", e.issueToLockP90);
+        p.cell(workload, "E:p99", e.issueToLockP99);
+        p.cell(workload, "L:p50", l.issueToLockP50);
+        p.cell(workload, "L:p90", l.issueToLockP90);
+        p.cell(workload, "L:p99", l.issueToLockP99);
     }
 }
 
 const int registered = [] {
     for (const auto &w : atomicIntensiveWorkloads()) {
-        addPrewarm(w, eagerConfig());
-        addPrewarm(w, lazyConfig());
+        addPrewarm(w, profiled(eagerConfig()));
+        addPrewarm(w, profiled(lazyConfig()));
         benchmark::RegisterBenchmark(("fig06/" + w).c_str(), breakdown, w)
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);

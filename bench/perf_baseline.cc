@@ -10,6 +10,11 @@
  * move. CI only checks the schema; the committed file documents the
  * throughput at the commit that produced it.
  *
+ * The output file is a history: a JSON array of run entries, appended
+ * to on every invocation (so regressions are visible as a series, not
+ * just a point). A legacy single-object file is wrapped into a
+ * one-entry array before appending.
+ *
  * Usage: perf_baseline [output.json]   (default: BENCH_perf.json)
  */
 
@@ -55,6 +60,73 @@ measure(const std::string &workload)
     return s;
 }
 
+/** Render one history entry (two-space-indented, no trailing newline). */
+std::string
+renderEntry(const std::vector<Sample> &samples)
+{
+    std::string e = "  {\n    \"host\": {\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "      \"hardware_concurrency\": %u,\n",
+                  std::thread::hardware_concurrency());
+    e += buf;
+    const char *ff = std::getenv("ROWSIM_FF");
+    std::snprintf(buf, sizeof(buf), "      \"fast_forward\": \"%s\",\n",
+                  ff && *ff ? ff : "default-on");
+    e += buf;
+    const char *prof = std::getenv("ROWSIM_PROFILE");
+    std::snprintf(buf, sizeof(buf), "      \"profile\": \"%s\",\n",
+                  prof && *prof ? prof : "off");
+    e += buf;
+    std::snprintf(buf, sizeof(buf), "      \"build\": \"%s\"\n",
+#ifdef NDEBUG
+                  "release"
+#else
+                  "debug"
+#endif
+    );
+    e += buf;
+    e += "    },\n    \"workloads\": {\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::snprintf(buf, sizeof(buf),
+                      "      \"%s\": {\"sim_cycles\": %llu, "
+                      "\"wall_ms\": %.1f, \"cycles_per_sec\": %.0f}%s\n",
+                      s.workload.c_str(),
+                      static_cast<unsigned long long>(s.simCycles),
+                      s.wallMs, s.cyclesPerSec,
+                      i + 1 < samples.size() ? "," : "");
+        e += buf;
+    }
+    e += "    }\n  }";
+    return e;
+}
+
+std::string
+readAll(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return "";
+    std::string out;
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
 } // namespace
 
 int
@@ -73,37 +145,32 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
 
+    // Append to the history array. Existing content is either an array
+    // (current format: reuse its inner entries) or a single legacy
+    // object (wrap it as the first entry).
+    std::string prior = trim(readAll(path));
+    std::string inner;
+    if (!prior.empty() && prior.front() == '[' && prior.back() == ']') {
+        inner = trim(prior.substr(1, prior.size() - 2));
+    } else if (!prior.empty() && prior.front() == '{') {
+        inner = "  " + prior;
+    } else if (!prior.empty()) {
+        std::fprintf(stderr,
+                     "perf_baseline: %s is neither a JSON array nor an "
+                     "object; refusing to overwrite\n", path);
+        return 1;
+    }
+
     std::FILE *out = std::fopen(path, "w");
     if (!out) {
         std::fprintf(stderr, "perf_baseline: cannot open %s\n", path);
         return 1;
     }
-    std::fprintf(out, "{\n  \"host\": {\n");
-    std::fprintf(out, "    \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    const char *ff = std::getenv("ROWSIM_FF");
-    std::fprintf(out, "    \"fast_forward\": \"%s\",\n",
-                 ff && *ff ? ff : "default-on");
-    std::fprintf(out, "    \"build\": \"%s\"\n",
-#ifdef NDEBUG
-                 "release"
-#else
-                 "debug"
-#endif
-    );
-    std::fprintf(out, "  },\n  \"workloads\": {\n");
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const Sample &s = samples[i];
-        std::fprintf(out,
-                     "    \"%s\": {\"sim_cycles\": %llu, "
-                     "\"wall_ms\": %.1f, \"cycles_per_sec\": %.0f}%s\n",
-                     s.workload.c_str(),
-                     static_cast<unsigned long long>(s.simCycles),
-                     s.wallMs, s.cyclesPerSec,
-                     i + 1 < samples.size() ? "," : "");
-    }
-    std::fprintf(out, "  }\n}\n");
+    std::fprintf(out, "[\n");
+    if (!inner.empty())
+        std::fprintf(out, "%s,\n", inner.c_str());
+    std::fprintf(out, "%s\n]\n", renderEntry(samples).c_str());
     std::fclose(out);
-    std::printf("wrote %s\n", path);
+    std::printf("appended to %s\n", path);
     return 0;
 }

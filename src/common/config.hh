@@ -214,6 +214,14 @@ struct SystemParams
     /** Fault probability in events per 10k opportunities (0 = the
      *  ROWSIM_FAULTS_RATE env var, or 50). */
     unsigned faultRate = 0;
+
+    // ---- attribution profiler (src/sim/profile.hh) ----
+
+    /** Profiler categories, same syntax as the ROWSIM_PROFILE env var
+     *  ("cpi,lines,row,pcs", "check", "all"; empty = env var / off).
+     *  Unlike the masks above this one is re-applied on every System
+     *  construction, so sweep workers never inherit a stale mask. */
+    std::string profileCategories;
 };
 
 } // namespace rowsim

@@ -21,6 +21,16 @@ StatGroup::formula(const std::string &name)
     return formulas_[name];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &name, double lo, double hi,
+                     unsigned buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(lo, hi, buckets)).first;
+    return it->second;
+}
+
 double
 StatGroup::formulaValue(const std::string &name) const
 {
@@ -42,6 +52,13 @@ StatGroup::findAverage(const std::string &name) const
     return it == averages_.end() ? nullptr : &it->second;
 }
 
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::reset()
 {
@@ -50,6 +67,46 @@ StatGroup::reset()
         kv.second.reset();
     for (auto &kv : averages_)
         kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const std::uint64_t n = avg_.count();
+    if (n == 0)
+        return 0.0;
+    // Target rank in [1, n]; walk the distribution in value order.
+    const double rank = p * static_cast<double>(n);
+    double seen = static_cast<double>(underflow_);
+    if (rank <= seen)
+        return avg_.min();
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double inBucket = static_cast<double>(counts_[i]);
+        if (rank <= seen + inBucket) {
+            // Interpolate within [lo_ + i*width, lo_ + (i+1)*width).
+            const double frac =
+                inBucket > 0 ? (rank - seen) / inBucket : 0.0;
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
+        seen += inBucket;
+    }
+    return avg_.max();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    ROWSIM_ASSERT(other.lo_ == lo_ && other.hi_ == hi_ &&
+                      other.counts_.size() == counts_.size(),
+                  "merging histograms with different geometry");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    avg_.merge(other.avg_);
 }
 
 void

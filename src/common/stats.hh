@@ -58,6 +58,24 @@ class Average
         max_ = 0;
     }
 
+    /** Accumulate another summary (for cross-core aggregation). */
+    void
+    merge(const Average &other)
+    {
+        if (!other.count_)
+            return;
+        if (!count_) {
+            *this = other;
+            return;
+        }
+        sum_ += other.sum_;
+        count_ += other.count_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
@@ -115,6 +133,20 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     const Average &summary() const { return avg_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /**
+     * Approximate p-quantile (p in [0,1]) by linear interpolation
+     * inside the bucket holding the target rank. Underflow samples
+     * resolve to the observed minimum, overflow to the observed
+     * maximum (the bucket bounds say nothing about their true values).
+     * Returns 0 with no samples.
+     */
+    double percentile(double p) const;
+
+    /** Accumulate @p other into this histogram (same geometry). */
+    void merge(const Histogram &other);
 
   private:
     double lo_, hi_;
@@ -218,11 +250,16 @@ class StatGroup
     Counter &counter(const std::string &name);
     Average &average(const std::string &name);
     Formula &formula(const std::string &name);
+    /** Get-or-create a histogram; geometry is fixed on first call. */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         unsigned buckets);
 
     /** Read a counter by name; 0 if it was never created. */
     std::uint64_t counterValue(const std::string &name) const;
     /** Read an average by name; default-constructed if absent. */
     const Average *findAverage(const std::string &name) const;
+    /** Read a histogram by name; nullptr if absent. */
+    const Histogram *findHistogram(const std::string &name) const;
     /** Evaluate a formula by name; 0 if absent. */
     double formulaValue(const std::string &name) const;
 
@@ -241,12 +278,17 @@ class StatGroup
     {
         return formulas_;
     }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
     std::map<std::string, Formula> formulas_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace rowsim

@@ -192,6 +192,8 @@ Core::acquireLock(RobEntry &e, FillSource source, Cycle now)
     a.locked = true;
     a.lockCycle = now;
     a.lockSource = source;
+    if (Profiler::enabled(ProfCategory::Lines) && prof_)
+        prof_->lineAcquire(a.line(), coreId);
     ROWSIM_TRACE(TraceCategory::Atomic, now,
                  "core%u lock seq=%llu line=%#llx source=%d", coreId,
                  static_cast<unsigned long long>(e.seq),
@@ -496,6 +498,45 @@ Core::atomicUnlock(SeqNum seq, Cycle now)
                      a.lockCycle == invalidCycle ? 0 : now - a.lockCycle),
                  contended ? 1 : 0, a.oracleContended ? 1 : 0);
 
+    if (prof_) {
+        if (Profiler::enabled(ProfCategory::Lines) &&
+            a.lockCycle != invalidCycle) {
+            prof_->lineRelease(line, now - a.lockCycle, contended);
+        }
+        if (Profiler::enabled(ProfCategory::Pcs) &&
+            a.issueCycle != invalidCycle &&
+            a.lockCycle != invalidCycle) {
+            const std::uint64_t d2i = a.issueCycle - a.dispatchCycle;
+            const std::uint64_t i2l = a.lockCycle - a.issueCycle;
+            const std::uint64_t l2u = now - a.lockCycle;
+            prof_->pcSample(a.pc, d2i, i2l, l2u);
+            stats_.histogram("atomicDispatchToIssueHist", 0, 4096, 128)
+                .sample(static_cast<double>(d2i));
+            stats_.histogram("atomicIssueToLockHist", 0, 4096, 128)
+                .sample(static_cast<double>(i2l));
+            stats_.histogram("atomicLockToUnlockHist", 0, 4096, 128)
+                .sample(static_cast<double>(l2u));
+        }
+        if (Profiler::enabled(ProfCategory::Row) &&
+            params.atomicPolicy == AtomicPolicy::RoW) {
+            // Mispredict cost: a predicted-lazy atomic that saw no
+            // contention wasted its ready->issue wait; a predicted-eager
+            // atomic that hit contention paid a contended acquisition.
+            std::uint64_t cost = 0;
+            if (a.predictedContended && !contended &&
+                a.readyCycle != invalidCycle &&
+                a.issueCycle != invalidCycle) {
+                cost = a.issueCycle - a.readyCycle;
+            } else if (!a.predictedContended && contended &&
+                       a.issueCycle != invalidCycle &&
+                       a.lockCycle != invalidCycle) {
+                cost = a.lockCycle - a.issueCycle;
+            }
+            prof_->rowOutcome(a.pc, a.predictedContended, contended,
+                              cost);
+        }
+    }
+
     if (params.atomicPolicy == AtomicPolicy::RoW)
         rowPredictor.update(a.pc, contended, now);
     if (params.atomicPolicy == AtomicPolicy::Fenced)
@@ -540,6 +581,71 @@ Core::commitStage(Cycle now)
         if (e.op.endOfIteration)
             iterations++;
         e.busy = false;
+    }
+}
+
+CpiBucket
+Core::classifyCommitStall() const
+{
+    const SeqNum head_seq = commitSeq + 1;
+    if (!inFlight(head_seq)) {
+        // ROB empty: either the core is done (halted, draining) or the
+        // front end could not supply instructions.
+        return halted ? CpiBucket::Idle : CpiBucket::FrontendStall;
+    }
+    const RobEntry &e = rob(head_seq);
+
+    if (e.op.cls == OpClass::AtomicRMW && e.aqIdx >= 0) {
+        const AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+        if (e.completed) {
+            // Free Atomics commit rule: lock held AND SB drained. A
+            // completed-but-blocked head is waiting for the SB (or, for
+            // a forwarded atomic, for its store's write to engage the
+            // lock — also an SB-drain dependency).
+            if (!a.locked || !sq.sbEmpty())
+                return CpiBucket::SqDrainWait;
+            return CpiBucket::AtomicExecute;
+        }
+        switch (e.astate) {
+          case AState::WaitOperands:
+            return e.lazySelected ? CpiBucket::AtomicLazyWait
+                                  : CpiBucket::AtomicExecute;
+          case AState::WaitLazy:
+            return CpiBucket::AtomicLazyWait;
+          case AState::WaitStore:
+            return CpiBucket::SqDrainWait;
+          case AState::MemIssued:
+            // A live MSHR for the target line means the acquisition is
+            // out in the coherence fabric; otherwise the atomic is in
+            // its local execute/lock path.
+            return a.addr != invalidAddr &&
+                           cache->hasMshr(lineAlign(a.addr))
+                       ? CpiBucket::CoherenceMiss
+                       : CpiBucket::AtomicExecute;
+          default:
+            return CpiBucket::AtomicExecute;
+        }
+    }
+
+    if (!e.completed) {
+        if (e.op.cls == OpClass::Load && e.issued &&
+            cache->hasMshr(lineAlign(e.op.addr)))
+            return CpiBucket::CoherenceMiss;
+        return robCount() >= params.robEntries ? CpiBucket::RobFull
+                                               : CpiBucket::Exec;
+    }
+    // Completed non-atomic heads always commit, so this is unreachable
+    // for stall slots (only hit when retired == commitWidth).
+    return CpiBucket::Exec;
+}
+
+void
+Core::profileCommitSlots(unsigned retired)
+{
+    prof_->cpiSlots(coreId, CpiBucket::Retired, retired);
+    if (retired < params.commitWidth) {
+        prof_->cpiSlots(coreId, classifyCommitStall(),
+                        params.commitWidth - retired);
     }
 }
 
@@ -1202,7 +1308,14 @@ Core::tick(Cycle now)
         atomicUnlock(seq, now);
     }
 
-    commitStage(now);
+    if (Profiler::enabled(ProfCategory::Cpi) && prof_) {
+        const std::uint64_t before = committedInsts;
+        commitStage(now);
+        profileCommitSlots(
+            static_cast<unsigned>(committedInsts - before));
+    } else {
+        commitStage(now);
+    }
     drainStores(now);
     issueStage(now);
     dispatchStage(now);

@@ -42,6 +42,7 @@
 #include "cpu/stream.hh"
 #include "mem/l1cache.hh"
 #include "row/predictor.hh"
+#include "sim/profile.hh"
 
 namespace rowsim
 {
@@ -94,6 +95,8 @@ class Core : public MemClient
 
     StatGroup &stats() { return stats_; }
     ContentionPredictor &predictor() { return rowPredictor; }
+    /** Attach the attribution profiler (System::setupProfiling). */
+    void setProfiler(Profiler *p) { prof_ = p; }
     BranchPredictor &branchPredictor() { return branchPred; }
     StoreSet &storeSets() { return storeSet; }
     const AtomicQueue &atomicQueue() const { return aq; }
@@ -219,6 +222,11 @@ class Core : public MemClient
     void replayLoad(RobEntry &load, Addr store_pc, Cycle now);
     /** Fig. 4 instrumentation at the atomic's real memory issue. */
     void sampleIndependentInsts(const RobEntry &e);
+    /** CPI stack: why could the commit head not retire this cycle? */
+    CpiBucket classifyCommitStall() const;
+    /** CPI stack: charge this cycle's commitWidth slots (called once
+     *  per tick when the cpi profile category is on). */
+    void profileCommitSlots(unsigned retired);
 
     CoreId coreId;
     CoreParams params;
@@ -266,6 +274,8 @@ class Core : public MemClient
     std::uint64_t committedInsts = 0;
     std::uint64_t committedAtomicCount = 0;
     std::uint64_t iterations = 0;
+
+    Profiler *prof_ = nullptr;
 
     StatGroup stats_;
 };

@@ -127,6 +127,10 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
             if (oracle)
                 oracle(line, req, e.owner, false, now);
             stats_.counter("fwdGetX")++;
+            // Exclusive ownership moving between private caches: the
+            // ping-pong transfer the contention profile counts.
+            if (Profiler::enabled(ProfCategory::Lines) && prof_)
+                prof_->lineOwnerSwap(line);
             sendToCore(MsgType::FwdGetX, line, e.owner, req, now, false,
                        false, hint);
             e.nextState = DirState::Modified;
@@ -254,6 +258,8 @@ Directory::deliver(const Msg &msg, Cycle now)
             stats_.counter("queuedRequests")++;
             stats_.average("queueDepth").sample(
                 static_cast<double>(e.queued.size()));
+            if (Profiler::enabled(ProfCategory::Lines) && prof_)
+                prof_->lineQueueDepth(msg.line, e.queued.size());
             ROWSIM_TRACE(TraceCategory::Directory, now,
                          "dir%u queue line=%#llx %s from core%u depth=%zu",
                          bankIndex,

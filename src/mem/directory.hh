@@ -23,6 +23,7 @@
 #include "mem/cache_array.hh"
 #include "net/message.hh"
 #include "net/network.hh"
+#include "sim/profile.hh"
 
 namespace rowsim
 {
@@ -61,6 +62,8 @@ class Directory : public MsgHandler
     Cycle nextEventCycle(Cycle now) const;
 
     void setOracleHook(OracleHook hook) { oracle = std::move(hook); }
+    /** Attach the attribution profiler (System::setupProfiling). */
+    void setProfiler(Profiler *p) { prof_ = p; }
 
     /** Directory state probe for tests. */
     DirState lineState(Addr line) const;
@@ -180,6 +183,8 @@ class Directory : public MsgHandler
     CacheArray llcArray; ///< data-presence array (latency only)
     /** Number of lines currently Blocked (idle() fast path). */
     unsigned blockedLines = 0;
+
+    Profiler *prof_ = nullptr;
 
     StatGroup stats_;
 };

@@ -239,6 +239,12 @@ PrivateCache::handleFill(const Msg &msg, Cycle now)
         src = FillSource::RemoteCache;
     else if (msg.fromMemory)
         src = FillSource::Memory;
+    // Transfer provenance: a cache-to-cache fill means this line moved
+    // between private caches (ping-pong ingredient).
+    if (Profiler::enabled(ProfCategory::Lines) && prof_ &&
+        msg.fromPrivateCache) {
+        prof_->lineRemoteFill(line);
+    }
     ROWSIM_TRACE(TraceCategory::Coherence, now,
                  "l1d%u fill line=%#llx state=%s from=%s latency=%llu",
                  coreId, static_cast<unsigned long long>(line),
@@ -388,6 +394,8 @@ PrivateCache::unlockNotify(Addr line, Cycle now)
             it = stalledExternals.erase(it);
             stats_.average("lockStallCycles").sample(
                 static_cast<double>(now - m.sent));
+            if (Profiler::enabled(ProfCategory::Lines) && prof_)
+                prof_->lineLockStall(line, now - m.sent);
             ROWSIM_TRACE_COMPLETE(
                 TraceCategory::Coherence, static_cast<int>(coreId),
                 traceTidCache, "lockStall", arrival, now,
@@ -440,6 +448,8 @@ PrivateCache::tick(Cycle now)
                 const Cycle arrival = it->arrival;
                 it = stalledExternals.erase(it);
                 stats_.counter("lockSteals")++;
+                if (Profiler::enabled(ProfCategory::Lines) && prof_)
+                    prof_->lineSteal(m.line);
                 ROWSIM_TRACE(TraceCategory::Coherence, now,
                              "l1d%u lock steal line=%#llx after %llu "
                              "stalled cycles (requester core%u)",

@@ -26,6 +26,7 @@
 #include "mem/mshr.hh"
 #include "net/message.hh"
 #include "net/network.hh"
+#include "sim/profile.hh"
 
 namespace rowsim
 {
@@ -111,6 +112,8 @@ class PrivateCache : public MsgHandler
                  FunctionalMemory *fmem);
 
     void setClient(MemClient *c) { client = c; }
+    /** Attach the attribution profiler (System::setupProfiling). */
+    void setProfiler(Profiler *p) { prof_ = p; }
 
     /** Issue an access. Hits complete after the L1/L2 latency; misses
      *  allocate an MSHR and go to the directory. */
@@ -257,6 +260,8 @@ class PrivateCache : public MsgHandler
     std::vector<Msg> deferredFills;
 
     std::multimap<Cycle, MemResult> dueResults;
+
+    Profiler *prof_ = nullptr;
 
     StatGroup stats_;
 };

@@ -22,7 +22,13 @@ RunResult::toJson() const
         "\"detectedContended\":%llu,\"oracleContended\":%llu,"
         "\"contendedPct\":%.4f,\"missLatency\":%.4f,"
         "\"dispatchToIssue\":%.4f,\"issueToLock\":%.4f,"
-        "\"lockToUnlock\":%.4f,\"olderUnexecuted\":%.4f,"
+        "\"lockToUnlock\":%.4f,"
+        "\"dispatchToIssueP50\":%.4f,\"dispatchToIssueP90\":%.4f,"
+        "\"dispatchToIssueP99\":%.4f,"
+        "\"issueToLockP50\":%.4f,\"issueToLockP90\":%.4f,"
+        "\"issueToLockP99\":%.4f,"
+        "\"lockToUnlockP50\":%.4f,\"lockToUnlockP90\":%.4f,"
+        "\"lockToUnlockP99\":%.4f,\"olderUnexecuted\":%.4f,"
         "\"youngerStarted\":%.4f,\"predAccuracy\":%.4f,"
         "\"atomicsForwarded\":%llu,\"atomicsPromoted\":%llu,"
         "\"forcedUnlocks\":%llu,\"eagerIssued\":%llu,\"lazyIssued\":%llu}",
@@ -34,7 +40,10 @@ RunResult::toJson() const
         static_cast<unsigned long long>(detectedContended),
         static_cast<unsigned long long>(oracleContended), contendedPct,
         missLatency, dispatchToIssue, issueToLock, lockToUnlock,
-        olderUnexecuted, youngerStarted, predAccuracy,
+        dispatchToIssueP50, dispatchToIssueP90, dispatchToIssueP99,
+        issueToLockP50, issueToLockP90, issueToLockP99, lockToUnlockP50,
+        lockToUnlockP90, lockToUnlockP99, olderUnexecuted, youngerStarted,
+        predAccuracy,
         static_cast<unsigned long long>(atomicsForwarded),
         static_cast<unsigned long long>(atomicsPromoted),
         static_cast<unsigned long long>(forcedUnlocks),
@@ -160,11 +169,69 @@ makeParams(const ExpConfig &cfg, unsigned num_cores, std::uint64_t seed)
     sp.core.row.latencyThreshold = cfg.latencyThreshold;
     sp.core.row.predictorEntries = cfg.predictorEntries;
     sp.core.row.localityPromotion = cfg.localityPromotion;
+    sp.profileCategories = cfg.profile;
     return sp;
 }
 
 namespace
 {
+
+/**
+ * Merge one named per-core histogram across every core and read its
+ * tail percentiles. Leaves the outputs untouched when no core recorded
+ * the histogram (profiling off / no samples).
+ */
+void
+mergedPercentiles(System &sys, const char *name, double &p50, double &p90,
+                  double &p99)
+{
+    const Histogram *first = nullptr;
+    for (CoreId c = 0; c < sys.numCores(); c++) {
+        if (const Histogram *h = sys.core(c).stats().findHistogram(name)) {
+            first = h;
+            break;
+        }
+    }
+    if (!first)
+        return;
+    Histogram merged(first->lo(), first->hi(),
+                     static_cast<unsigned>(first->buckets().size()));
+    for (CoreId c = 0; c < sys.numCores(); c++) {
+        if (const Histogram *h = sys.core(c).stats().findHistogram(name))
+            merged.merge(*h);
+    }
+    if (merged.summary().count() == 0)
+        return;
+    p50 = merged.percentile(0.50);
+    p90 = merged.percentile(0.90);
+    p99 = merged.percentile(0.99);
+}
+
+/** Append a profiled run's record as one JSON line to @p path
+ *  ("-" = stdout); same serialization discipline as writeRunReport. */
+void
+writeProfileRecord(const RunResult &r, const std::string &path)
+{
+    static std::mutex profileMutex;
+    std::lock_guard<std::mutex> lock(profileMutex);
+
+    const std::string line = strprintf(
+        "{\"workload\":\"%s\",\"config\":\"%s\",\"cycles\":%llu,"
+        "\"profile\":%s}",
+        r.workload.c_str(), r.config.c_str(),
+        static_cast<unsigned long long>(r.cycles), r.profileJson.c_str());
+    if (path == "-") {
+        std::fprintf(stdout, "%s\n", line.c_str());
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        ROWSIM_WARN("cannot open profile JSON file '%s'", path.c_str());
+        return;
+    }
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+}
 
 /** Run @p workload on a fully-specified system and harvest the metrics. */
 RunResult
@@ -204,6 +271,13 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     r.dispatchToIssue = sys.meanAverage("atomicDispatchToIssue");
     r.issueToLock = sys.meanAverage("atomicIssueToLock");
     r.lockToUnlock = sys.meanAverage("atomicLockToUnlock");
+    mergedPercentiles(sys, "atomicDispatchToIssueHist",
+                      r.dispatchToIssueP50, r.dispatchToIssueP90,
+                      r.dispatchToIssueP99);
+    mergedPercentiles(sys, "atomicIssueToLockHist", r.issueToLockP50,
+                      r.issueToLockP90, r.issueToLockP99);
+    mergedPercentiles(sys, "atomicLockToUnlockHist", r.lockToUnlockP50,
+                      r.lockToUnlockP90, r.lockToUnlockP99);
     r.olderUnexecuted = sys.meanAverage("olderUnexecutedAtIssue");
     r.youngerStarted = sys.meanAverage("youngerStartedAtIssue");
 
@@ -237,12 +311,22 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
         }
     }
 
+    if (const Profiler *prof = sys.profiler(); prof && prof->active())
+        r.profileJson = prof->toJson();
+
     // ROWSIM_REPORT=<path>: append a one-line JSON report per run (any
     // bench or test), "-" for stdout. Lets figure scripts collect every
     // run without touching the harness call sites.
     if (const char *report = std::getenv("ROWSIM_REPORT");
         report && *report) {
         writeRunReport(r, report);
+    }
+    // ROWSIM_PROFILE_JSON=<path>: append one profiler record per
+    // profiled run ({"workload","config","cycles","profile"}), "-" for
+    // stdout — the input format of tools/profile_report.
+    if (const char *pj = std::getenv("ROWSIM_PROFILE_JSON");
+        pj && *pj && !r.profileJson.empty()) {
+        writeProfileRecord(r, pj);
     }
     // ROWSIM_STATS_JSON=<path>: the full stats tree (every group's
     // counters/averages/formulas + interval series) of the most recent

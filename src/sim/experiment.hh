@@ -29,6 +29,9 @@ struct ExpConfig
     bool localityPromotion = true;
     Cycle latencyThreshold = 400;
     unsigned predictorEntries = 64;
+    /** Profiler categories for this run ("cpi,lines,row,pcs,check" /
+     *  "all"); empty defers to the ROWSIM_PROFILE environment. */
+    std::string profile;
 };
 
 /** Everything a figure could want from one run. */
@@ -56,6 +59,14 @@ struct RunResult
     double issueToLock = 0;
     double lockToUnlock = 0;
 
+    /** Fig. 6 tail percentiles, from the per-core atomic-phase
+     *  histograms merged across cores. Populated only when the run
+     *  profiles with the "pcs" category; 0 otherwise. */
+    double dispatchToIssueP50 = 0, dispatchToIssueP90 = 0,
+           dispatchToIssueP99 = 0;
+    double issueToLockP50 = 0, issueToLockP90 = 0, issueToLockP99 = 0;
+    double lockToUnlockP50 = 0, lockToUnlockP90 = 0, lockToUnlockP99 = 0;
+
     // Fig. 4 independent-instruction counts at atomic issue.
     double olderUnexecuted = 0;
     double youngerStarted = 0;
@@ -74,6 +85,10 @@ struct RunResult
      *  (runExperiment's capture_stats / SweepJob::captureStatsJson) —
      *  it is large, and most callers only want the summary metrics. */
     std::string statsJson;
+
+    /** Profiler::toJson() of the run, captured whenever the run was
+     *  profiled (ROWSIM_PROFILE / ExpConfig::profile); empty otherwise. */
+    std::string profileJson;
 
     /** One-line JSON object with every field above except statsJson
      *  (run reports). */

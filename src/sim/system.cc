@@ -42,6 +42,7 @@ System::System(const SystemParams &params,
 
     setupObservability();
     setupSelfChecking();
+    setupProfiling();
 
     // Idle fast-forward: params default, ROWSIM_FF env override, and a
     // hard disable under fault injection (the injector draws from its
@@ -217,6 +218,30 @@ System::setupSelfChecking()
 }
 
 void
+System::setupProfiling()
+{
+    // Unlike the trace/check masks, the profile mask is unconditionally
+    // re-applied on every System construction: params override the env
+    // var, and an empty params spec restores the env value. A profiled
+    // sweep job therefore never leaks its mask into the next job that
+    // lands on the same worker thread.
+    Profiler::configure(
+        params_.profileCategories.empty()
+            ? Profiler::envMask()
+            : parseProfileCategories(params_.profileCategories));
+    if (!Profiler::anyEnabled())
+        return;
+    profiler_ = std::make_unique<Profiler>(params_.numCores,
+                                           params_.core.commitWidth);
+    for (auto &c : cores)
+        c->setProfiler(profiler_.get());
+    for (CoreId c = 0; c < params_.numCores; c++)
+        memsys.cache(c).setProfiler(profiler_.get());
+    for (unsigned b = 0; b < memsys.numBanks(); b++)
+        memsys.directory(b).setProfiler(profiler_.get());
+}
+
+void
 System::tick()
 {
     currentCycle++;
@@ -368,6 +393,10 @@ System::maybeFastForward()
                  "ff skip %llu..%llu",
                  static_cast<unsigned long long>(currentCycle + 1),
                  static_cast<unsigned long long>(next - 1));
+    // Skipped windows never get per-tick classification; credit them as
+    // explicit Idle slots so the CPI stacks stay slot-conserving.
+    if (profiler_ && Profiler::enabled(ProfCategory::Cpi))
+        profiler_->addIdleSlots(next - 1 - currentCycle);
     ffSkipped_ += next - 1 - currentCycle;
     currentCycle = next - 1;
 }
@@ -457,8 +486,11 @@ System::run(std::uint64_t iter_quota)
                 all_done = false;
             }
         }
-        if (all_done)
+        if (all_done) {
+            if (profiler_ && Profiler::enabled(ProfCategory::Check))
+                profiler_->checkConservation(currentCycle, "end of run");
             return currentCycle;
+        }
         // Deadlock detection lives in watchdogScan() (called from
         // tick()): per-core commit progress plus per-structure ages,
         // so a fire names the stuck component.
@@ -618,6 +650,17 @@ dumpGroup(std::FILE *out, StatGroup &g)
         std::fprintf(out, "%s.%s %.4f\n", g.name().c_str(),
                      kv.first.c_str(), kv.second.value());
     }
+    for (const auto &kv : g.histograms()) {
+        const Histogram &h = kv.second;
+        std::fprintf(out,
+                     "%s.%s mean=%.2f p50=%.0f p90=%.0f p99=%.0f "
+                     "n=%llu\n",
+                     g.name().c_str(), kv.first.c_str(),
+                     h.summary().mean(), h.percentile(0.50),
+                     h.percentile(0.90), h.percentile(0.99),
+                     static_cast<unsigned long long>(
+                         h.summary().count()));
+    }
 }
 
 void
@@ -646,6 +689,30 @@ dumpGroupJson(std::FILE *out, StatGroup &g, bool &first_group)
     for (const auto &kv : g.formulas()) {
         std::fprintf(out, "%s\"%s\": %.6g", first ? "" : ", ",
                      kv.first.c_str(), kv.second.value());
+        first = false;
+    }
+    for (const auto &kv : g.histograms()) {
+        const Histogram &h = kv.second;
+        std::fprintf(out,
+                     "%s\"%s\": {\"mean\": %.6g, \"min\": %.6g, "
+                     "\"max\": %.6g, \"count\": %llu, "
+                     "\"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g, "
+                     "\"lo\": %.6g, \"hi\": %.6g, \"underflow\": %llu, "
+                     "\"overflow\": %llu, \"buckets\": [",
+                     first ? "" : ", ", kv.first.c_str(),
+                     h.summary().mean(), h.summary().min(),
+                     h.summary().max(),
+                     static_cast<unsigned long long>(h.summary().count()),
+                     h.percentile(0.50), h.percentile(0.90),
+                     h.percentile(0.99), h.lo(), h.hi(),
+                     static_cast<unsigned long long>(h.underflow()),
+                     static_cast<unsigned long long>(h.overflow()));
+        for (std::size_t i = 0; i < h.buckets().size(); i++) {
+            std::fprintf(out, "%s%llu", i ? ", " : "",
+                         static_cast<unsigned long long>(
+                             h.buckets()[i]));
+        }
+        std::fprintf(out, "]}");
         first = false;
     }
     std::fprintf(out, "}");
@@ -724,6 +791,12 @@ System::dumpStatsJson(std::FILE *out) const
         }
         std::fprintf(out, "}\n  }");
     }
+
+    // Attribution profiler (absent — not empty — when profiling is off,
+    // keeping the off-mode dump byte-identical to pre-profiler builds).
+    if (profiler_ && profiler_->active())
+        std::fprintf(out, ",\n  \"profile\": %s",
+                     profiler_->toJson().c_str());
     std::fprintf(out, "\n}\n");
 }
 

@@ -21,6 +21,7 @@
 #include "mem/memsystem.hh"
 #include "sim/checker.hh"
 #include "sim/faults.hh"
+#include "sim/profile.hh"
 
 namespace rowsim
 {
@@ -82,6 +83,9 @@ class System
     Checker &checker() { return *checker_; }
     /** The fault injector; nullptr unless faults are enabled. */
     FaultInjector *faults() { return faults_.get(); }
+    /** The attribution profiler; nullptr unless profiling is enabled. */
+    Profiler *profiler() { return profiler_.get(); }
+    const Profiler *profiler() const { return profiler_.get(); }
 
     /**
      * Emit the crash diagnostics snapshot: a human-visible marker pair
@@ -138,6 +142,9 @@ class System
     void setupObservability();
     /** Wire the invariant checker and fault injector (params + env). */
     void setupSelfChecking();
+    /** Reset the profile mask (params override env, always re-applied)
+     *  and wire the Profiler into cores / caches / directory banks. */
+    void setupProfiling();
     /** Per-core / per-structure forward-progress watchdog: panics naming
      *  the stuck component instead of a bare global "deadlock?". */
     void watchdogScan();
@@ -179,6 +186,7 @@ class System
 
     std::unique_ptr<Checker> checker_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<Profiler> profiler_;
 
     IntervalStats intervalStats_;
     StatGroup simStats_{"sim"};

@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Pretty-printer for the attribution profiler's JSON output.
+ *
+ * Input is either a single stats-JSON report (System::dumpStatsJson with
+ * a "profile" section), a raw Profiler::toJson() object, or a JSONL
+ * stream of per-run records ({"workload":...,"config":...,
+ * "profile":{...}}) as written via ROWSIM_PROFILE_JSON. "-" reads stdin.
+ *
+ * For each record the tool prints the per-core CPI stack table (with an
+ * aggregate percentage row), the top-K contended-line table, the RoW
+ * predicted × observed cross-tab with dispatch accuracy and mispredict
+ * cost, and the per-PC atomic latency averages. With --collapsed PATH it
+ * additionally appends flamegraph-style folded stacks
+ * ("label;coreN;bucket slots") consumable by flamegraph.pl / speedscope.
+ *
+ * Standalone: parses JSON itself (no simulator linkage), so it also
+ * works on reports produced by older or newer rowsim builds.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (objects keep insertion order
+// irrelevant: lookups go through a map). Throws on malformed input.
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        static const Json null;
+        auto it = obj.find(key);
+        return it == obj.end() ? null : it->second;
+    }
+
+    bool has(const std::string &key) const { return obj.count(key) != 0; }
+
+    /** Numbers arrive as doubles or as hex strings ("0x10"). */
+    unsigned long long
+    asU64() const
+    {
+        if (type == Number)
+            return static_cast<unsigned long long>(num);
+        if (type == String)
+            return std::strtoull(str.c_str(), nullptr, 0);
+        return 0;
+    }
+
+    double asDouble() const { return type == Number ? num : 0.0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        ws();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        pos++;
+    }
+
+    Json
+    value()
+    {
+        ws();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true", Json::Bool, true);
+          case 'f': return literal("false", Json::Bool, false);
+          case 'n': return literal("null", Json::Null, false);
+          default: return number();
+        }
+    }
+
+    Json
+    literal(const char *word, Json::Type t, bool b)
+    {
+        if (s.compare(pos, std::strlen(word), word) != 0)
+            fail("bad literal");
+        pos += std::strlen(word);
+        Json j;
+        j.type = t;
+        j.b = b;
+        return j;
+    }
+
+    Json
+    object()
+    {
+        Json j;
+        j.type = Json::Object;
+        expect('{');
+        ws();
+        if (peek() == '}') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            ws();
+            Json key = string();
+            ws();
+            expect(':');
+            j.obj[key.str] = value();
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return j;
+        }
+    }
+
+    Json
+    array()
+    {
+        Json j;
+        j.type = Json::Array;
+        expect('[');
+        ws();
+        if (peek() == ']') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            j.arr.push_back(value());
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect(']');
+            return j;
+        }
+    }
+
+    Json
+    string()
+    {
+        Json j;
+        j.type = Json::String;
+        expect('"');
+        while (true) {
+            char c = peek();
+            pos++;
+            if (c == '"')
+                return j;
+            if (c == '\\') {
+                char e = peek();
+                pos++;
+                switch (e) {
+                  case '"': j.str += '"'; break;
+                  case '\\': j.str += '\\'; break;
+                  case '/': j.str += '/'; break;
+                  case 'n': j.str += '\n'; break;
+                  case 't': j.str += '\t'; break;
+                  case 'r': j.str += '\r'; break;
+                  case 'u':
+                    if (pos + 4 > s.size())
+                        fail("bad \\u escape");
+                    pos += 4;
+                    j.str += '?';
+                    break;
+                  default: fail("bad escape");
+                }
+            } else {
+                j.str += c;
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            pos++;
+        }
+        if (pos == start)
+            fail("expected number");
+        Json j;
+        j.type = Json::Number;
+        j.num = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+        return j;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------
+
+/** Matches CpiBucket order in src/sim/profile.hh; the JSON keys are the
+ *  source of truth, this list only fixes the column order. */
+const char *const cpiBuckets[] = {
+    "retired",       "frontendStall",  "robFull",
+    "exec",          "sqDrainWait",    "atomicLazyWait",
+    "atomicExecute", "coherenceMiss",  "idle",
+};
+constexpr unsigned numBuckets = sizeof(cpiBuckets) / sizeof(cpiBuckets[0]);
+
+void
+printCpi(const Json &cpi, const std::string &label, std::FILE *collapsed)
+{
+    if (cpi.type != Json::Array || cpi.arr.empty())
+        return;
+    std::printf("  CPI stack (commit slots per bucket):\n");
+    std::printf("    %-6s", "core");
+    for (const char *b : cpiBuckets)
+        std::printf(" %14s", b);
+    std::printf("\n");
+
+    unsigned long long agg[numBuckets] = {0};
+    for (const Json &core : cpi.arr) {
+        std::printf("    %-6llu", core.at("core").asU64());
+        for (unsigned i = 0; i < numBuckets; ++i) {
+            unsigned long long v = core.at(cpiBuckets[i]).asU64();
+            agg[i] += v;
+            std::printf(" %14llu", v);
+            if (collapsed && v) {
+                std::fprintf(collapsed, "%s;core%llu;%s %llu\n",
+                             label.c_str(), core.at("core").asU64(),
+                             cpiBuckets[i], v);
+            }
+        }
+        std::printf("\n");
+    }
+
+    unsigned long long total = 0;
+    for (unsigned long long v : agg)
+        total += v;
+    std::printf("    %-6s", "all");
+    for (unsigned i = 0; i < numBuckets; ++i)
+        std::printf(" %14llu", agg[i]);
+    std::printf("\n    %-6s", "%");
+    for (unsigned i = 0; i < numBuckets; ++i)
+        std::printf(" %13.1f%%",
+                    total ? 100.0 * static_cast<double>(agg[i]) /
+                                static_cast<double>(total)
+                          : 0.0);
+    std::printf("\n");
+}
+
+void
+printLines(const Json &profile)
+{
+    const Json &lines = profile.at("lines");
+    if (lines.type != Json::Array)
+        return;
+    std::printf("  Contended lines (top %zu of %llu tracked, by hold "
+                "cycles):\n",
+                lines.arr.size(), profile.at("linesTracked").asU64());
+    if (lines.arr.empty())
+        return;
+    std::printf("    %-14s %9s %11s %6s %7s %6s %7s %10s %6s %5s %5s\n",
+                "line", "acquires", "holdCyc", "cont", "rfills", "swaps",
+                "stalls", "stallCyc", "steals", "qMax", "cores");
+    for (const Json &l : lines.arr) {
+        std::printf(
+            "    %-14s %9llu %11llu %6llu %7llu %6llu %7llu %10llu "
+            "%6llu %5llu %5llu\n",
+            l.at("line").str.c_str(), l.at("acquires").asU64(),
+            l.at("holdCycles").asU64(), l.at("contendedUnlocks").asU64(),
+            l.at("remoteFills").asU64(), l.at("ownerSwaps").asU64(),
+            l.at("lockStalls").asU64(), l.at("lockStallCycles").asU64(),
+            l.at("steals").asU64(), l.at("queuedMax").asU64(),
+            l.at("cores").asU64());
+    }
+}
+
+void
+printRow(const Json &row)
+{
+    if (row.type != Json::Object)
+        return;
+    const Json &t = row.at("totals");
+    std::printf("  RoW decision audit (predicted x observed):\n");
+    std::printf("    %-18s %14s %14s\n", "", "uncontended", "contended");
+    std::printf("    %-18s %14llu %14llu\n", "predicted eager",
+                t.at("eagerUncontended").asU64(),
+                t.at("eagerContended").asU64());
+    std::printf("    %-18s %14llu %14llu\n", "predicted lazy",
+                t.at("lazyUncontended").asU64(),
+                t.at("lazyContended").asU64());
+    std::printf("    updates=%llu contended=%llu accuracy=%.2f%%\n",
+                t.at("updates").asU64(), t.at("contendedOutcomes").asU64(),
+                100.0 * row.at("dispatchAccuracy").asDouble());
+    std::printf("    mispredict cost: lazy-waste=%llu cyc, "
+                "eager-contended=%llu cyc\n",
+                t.at("lazyWasteCycles").asU64(),
+                t.at("eagerContendedCycles").asU64());
+
+    const Json &pcs = row.at("pcs");
+    if (pcs.type != Json::Array || pcs.arr.empty())
+        return;
+    std::printf("    per-PC: %-14s %8s %8s %8s %8s %10s %10s\n", "pc",
+                "eagUnc", "eagCon", "lazUnc", "lazCon", "wasteCyc",
+                "eagConCyc");
+    for (const Json &p : pcs.arr) {
+        std::printf("            %-14s %8llu %8llu %8llu %8llu %10llu "
+                    "%10llu\n",
+                    p.at("pc").str.c_str(),
+                    p.at("eagerUncontended").asU64(),
+                    p.at("eagerContended").asU64(),
+                    p.at("lazyUncontended").asU64(),
+                    p.at("lazyContended").asU64(),
+                    p.at("lazyWasteCycles").asU64(),
+                    p.at("eagerContendedCycles").asU64());
+    }
+}
+
+void
+printPcs(const Json &pcs)
+{
+    if (pcs.type != Json::Array || pcs.arr.empty())
+        return;
+    std::printf("  Atomic latency by PC (average cycles per phase):\n");
+    std::printf("    %-14s %9s %14s %12s %13s\n", "pc", "count",
+                "dispatch->issue", "issue->lock", "lock->unlock");
+    for (const Json &p : pcs.arr) {
+        const double n =
+            std::max(1.0, static_cast<double>(p.at("count").asU64()));
+        std::printf("    %-14s %9llu %14.1f %12.1f %13.1f\n",
+                    p.at("pc").str.c_str(), p.at("count").asU64(),
+                    static_cast<double>(p.at("dispatchToIssue").asU64()) / n,
+                    static_cast<double>(p.at("issueToLock").asU64()) / n,
+                    static_cast<double>(p.at("lockToUnlock").asU64()) / n);
+    }
+}
+
+/** Render one record: @p profile is the profiler object itself. */
+void
+report(const Json &profile, const std::string &label, std::FILE *collapsed)
+{
+    std::printf("=== %s (categories: %s, commitWidth %llu) ===\n",
+                label.c_str(), profile.at("categories").str.c_str(),
+                profile.at("commitWidth").asU64());
+    printCpi(profile.at("cpi"), label, collapsed);
+    printLines(profile);
+    printRow(profile.at("row"));
+    printPcs(profile.at("pcs"));
+    std::printf("\n");
+}
+
+/** A record is either a wrapper with a "profile" member (stats report /
+ *  JSONL run record) or a raw profiler object (has "categories"). */
+bool
+handleRecord(const Json &rec, unsigned index, std::FILE *collapsed)
+{
+    const Json *profile = nullptr;
+    std::string label;
+    if (rec.has("profile") && rec.at("profile").type == Json::Object) {
+        profile = &rec.at("profile");
+        if (rec.at("workload").type == Json::String)
+            label = rec.at("workload").str;
+        if (rec.at("config").type == Json::String)
+            label += (label.empty() ? "" : "/") + rec.at("config").str;
+    } else if (rec.has("categories")) {
+        profile = &rec;
+    }
+    if (!profile)
+        return false;
+    if (label.empty())
+        label = "run" + std::to_string(index);
+    report(*profile, label, collapsed);
+    return true;
+}
+
+std::string
+readAll(const char *path)
+{
+    std::FILE *f =
+        std::strcmp(path, "-") == 0 ? stdin : std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "profile_report: cannot open %s\n", path);
+        std::exit(1);
+    }
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    if (f != stdin)
+        std::fclose(f);
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: profile_report [--collapsed PATH] FILE|-\n"
+        "  FILE: a stats JSON report (with a \"profile\" section), a raw\n"
+        "        profiler JSON object, or a JSONL stream of run records\n"
+        "        as written via ROWSIM_PROFILE_JSON. '-' reads stdin.\n"
+        "  --collapsed PATH: also write flamegraph folded stacks\n"
+        "        (label;coreN;bucket slots) to PATH.\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *input = nullptr;
+    const char *collapsedPath = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--collapsed") == 0) {
+            if (++i >= argc)
+                usage();
+            collapsedPath = argv[i];
+        } else if (!input) {
+            input = argv[i];
+        } else {
+            usage();
+        }
+    }
+    if (!input)
+        usage();
+
+    std::FILE *collapsed = nullptr;
+    if (collapsedPath) {
+        collapsed = std::fopen(collapsedPath, "w");
+        if (!collapsed) {
+            std::fprintf(stderr, "profile_report: cannot write %s\n",
+                         collapsedPath);
+            return 1;
+        }
+    }
+
+    const std::string text = readAll(input);
+    unsigned rendered = 0, index = 0;
+
+    // A whole-file parse handles pretty-printed stats reports; if that
+    // fails the input is a JSONL stream — parse line by line.
+    bool wholeFile = true;
+    try {
+        Json root = JsonParser(text).parse();
+        if (handleRecord(root, index++, collapsed))
+            rendered++;
+    } catch (const std::exception &) {
+        wholeFile = false;
+    }
+
+    if (!wholeFile) {
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t eol = text.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = text.size();
+            std::string line = text.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            try {
+                Json rec = JsonParser(line).parse();
+                if (handleRecord(rec, index++, collapsed))
+                    rendered++;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "profile_report: skipping bad "
+                             "line: %s\n", e.what());
+            }
+        }
+    }
+
+    if (collapsed)
+        std::fclose(collapsed);
+    if (!rendered) {
+        std::fprintf(stderr, "profile_report: no profile records found "
+                     "in %s (was the run executed with ROWSIM_PROFILE "
+                     "set?)\n", input);
+        return 1;
+    }
+    return 0;
+}
