@@ -78,6 +78,13 @@ renderEntry(const std::vector<Sample> &samples)
     std::snprintf(buf, sizeof(buf), "      \"profile\": \"%s\",\n",
                   prof && *prof ? prof : "off");
     e += buf;
+    // Warmup-checkpoint mode (ROWSIM_CKPT): sim_cycles stays bit-stable
+    // across modes by construction; wall_ms is expected to drop on
+    // checkpoint-restored runs, and this field says which is which.
+    const char *ckpt = std::getenv("ROWSIM_CKPT");
+    std::snprintf(buf, sizeof(buf), "      \"ckpt\": \"%s\",\n",
+                  ckpt && *ckpt ? ckpt : "off");
+    e += buf;
     std::snprintf(buf, sizeof(buf), "      \"build\": \"%s\"\n",
 #ifdef NDEBUG
                   "release"

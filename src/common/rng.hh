@@ -79,6 +79,22 @@ class Rng
         return lo + below(hi - lo + 1);
     }
 
+    /** Copy the four raw state words out (snapshot support). */
+    void
+    getState(std::uint64_t out[4]) const
+    {
+        for (unsigned i = 0; i < 4; i++)
+            out[i] = state[i];
+    }
+
+    /** Overwrite the four raw state words (snapshot support). */
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (unsigned i = 0; i < 4; i++)
+            state[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4). Used by the snapshot layer to fingerprint
+ * configurations, to detect checkpoint-file corruption, and to derive the
+ * canonical architectural state digest that CI compares across compilers.
+ * Self-contained so the simulator stays dependency-free.
+ */
+
+#ifndef ROWSIM_COMMON_SHA256_HH
+#define ROWSIM_COMMON_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rowsim
+{
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the 32-byte digest. The hasher must not be
+     *  updated afterwards. */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Lowercase hex rendering of a digest. */
+    static std::string hex(const std::array<std::uint8_t, 32> &d);
+
+    /** One-shot convenience: hex digest of a buffer. */
+    static std::string hashHex(const void *data, std::size_t len);
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::uint32_t h_[8];
+    std::uint64_t totalBytes_ = 0;
+    std::uint8_t buf_[64];
+    std::size_t bufLen_ = 0;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_COMMON_SHA256_HH

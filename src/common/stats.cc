@@ -1,7 +1,190 @@
 #include "common/stats.hh"
 
+#include "sim/snapshot.hh"
+
 namespace rowsim
 {
+
+void
+Counter::save(Ser &s) const
+{
+    s.u64(value_);
+}
+
+void
+Counter::restore(Deser &d)
+{
+    value_ = d.u64();
+}
+
+void
+Average::save(Ser &s) const
+{
+    s.f64(sum_);
+    s.u64(count_);
+    s.f64(min_);
+    s.f64(max_);
+}
+
+void
+Average::restore(Deser &d)
+{
+    sum_ = d.f64();
+    count_ = d.u64();
+    min_ = d.f64();
+    max_ = d.f64();
+}
+
+void
+Histogram::save(Ser &s) const
+{
+    s.f64(lo_);
+    s.f64(hi_);
+    s.u64(counts_.size());
+    for (std::uint64_t c : counts_)
+        s.u64(c);
+    s.u64(underflow_);
+    s.u64(overflow_);
+    avg_.save(s);
+}
+
+void
+Histogram::restore(Deser &d)
+{
+    const double lo = d.f64();
+    const double hi = d.f64();
+    const std::uint64_t buckets = d.u64();
+    if (lo != lo_ || hi != hi_ || buckets != counts_.size()) {
+        throw SnapshotError(strprintf(
+            "histogram geometry mismatch: image has [%g, %g) x %llu, "
+            "this build expects [%g, %g) x %zu",
+            lo, hi, static_cast<unsigned long long>(buckets), lo_, hi_,
+            counts_.size()));
+    }
+    for (auto &c : counts_)
+        c = d.u64();
+    underflow_ = d.u64();
+    overflow_ = d.u64();
+    avg_.restore(d);
+}
+
+void
+StatGroup::save(Ser &s) const
+{
+    s.section("statgroup");
+    s.str(name_);
+    s.u64(counters_.size());
+    for (const auto &[name, c] : counters_) {
+        s.str(name);
+        c.save(s);
+    }
+    s.u64(averages_.size());
+    for (const auto &[name, a] : averages_) {
+        s.str(name);
+        a.save(s);
+    }
+    s.u64(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        s.str(name);
+        h.save(s);
+    }
+}
+
+void
+StatGroup::restore(Deser &d)
+{
+    d.section("statgroup");
+    const std::string name = d.str();
+    if (name != name_) {
+        throw SnapshotError(strprintf(
+            "stat group mismatch: image has '%s', expected '%s'",
+            name.c_str(), name_.c_str()));
+    }
+    counters_.clear();
+    const std::uint64_t nCounters = d.u64();
+    for (std::uint64_t i = 0; i < nCounters; i++) {
+        const std::string key = d.str();
+        counters_[key].restore(d);
+    }
+    averages_.clear();
+    const std::uint64_t nAverages = d.u64();
+    for (std::uint64_t i = 0; i < nAverages; i++) {
+        const std::string key = d.str();
+        averages_[key].restore(d);
+    }
+    // Histograms have no default constructor (geometry is fixed at
+    // creation); emplace each with the geometry peeked from the stream,
+    // then let Histogram::restore re-verify it and fill the contents.
+    histograms_.clear();
+    const std::uint64_t nHistograms = d.u64();
+    for (std::uint64_t i = 0; i < nHistograms; i++) {
+        const std::string key = d.str();
+        Deser peek = d;
+        const double lo = peek.f64();
+        const double hi = peek.f64();
+        const std::uint64_t buckets = peek.u64();
+        if (!(hi > lo) || buckets == 0 || buckets > (1u << 20)) {
+            throw SnapshotError(strprintf(
+                "corrupted histogram geometry for '%s'", key.c_str()));
+        }
+        auto it = histograms_
+                      .emplace(key, Histogram(lo, hi,
+                                              static_cast<unsigned>(buckets)))
+                      .first;
+        it->second.restore(d);
+    }
+}
+
+void
+IntervalStats::save(Ser &s) const
+{
+    s.section("interval");
+    s.u64(period_);
+    s.u64(nextAt_);
+    s.u64(probes_.size());
+    for (const auto &p : probes_)
+        s.f64(p.last);
+    s.u64(cycles_.size());
+    for (Cycle c : cycles_)
+        s.u64(c);
+    for (const auto &ser : series_) {
+        s.u64(ser.size());
+        for (double v : ser)
+            s.f64(v);
+    }
+}
+
+void
+IntervalStats::restore(Deser &d)
+{
+    d.section("interval");
+    const Cycle period = d.u64();
+    if (period != period_) {
+        throw SnapshotError(strprintf(
+            "interval stats period mismatch: image sampled every %llu "
+            "cycles, this run every %llu",
+            static_cast<unsigned long long>(period),
+            static_cast<unsigned long long>(period_)));
+    }
+    nextAt_ = d.u64();
+    const std::uint64_t nProbes = d.u64();
+    if (nProbes != probes_.size()) {
+        throw SnapshotError(strprintf(
+            "interval stats probe count mismatch: image has %llu, this "
+            "run registered %zu",
+            static_cast<unsigned long long>(nProbes), probes_.size()));
+    }
+    for (auto &p : probes_)
+        p.last = d.f64();
+    cycles_.resize(d.u64());
+    for (auto &c : cycles_)
+        c = d.u64();
+    for (auto &ser : series_) {
+        ser.resize(d.u64());
+        for (auto &v : ser)
+            v = d.f64();
+    }
+}
 
 Counter &
 StatGroup::counter(const std::string &name)

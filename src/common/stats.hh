@@ -21,6 +21,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /** A scalar event counter. */
 class Counter
 {
@@ -29,6 +32,9 @@ class Counter
     Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
+
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     std::uint64_t value_ = 0;
@@ -81,6 +87,9 @@ class Average
     std::uint64_t count() const { return count_; }
     double min() const { return min_; }
     double max() const { return max_; }
+
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     double sum_ = 0;
@@ -147,6 +156,10 @@ class Histogram
 
     /** Accumulate @p other into this histogram (same geometry). */
     void merge(const Histogram &other);
+
+    void save(Ser &s) const;
+    /** Restore contents; throws SnapshotError on geometry mismatch. */
+    void restore(Deser &d);
 
   private:
     double lo_, hi_;
@@ -230,6 +243,11 @@ class IntervalStats
 
     void reset();
 
+    void save(Ser &s) const;
+    /** Restore sample history onto an already-configured instance;
+     *  throws SnapshotError if period or probe set differ. */
+    void restore(Deser &d);
+
   private:
     Cycle period_ = 0;
     Cycle nextAt_ = 0;
@@ -264,6 +282,15 @@ class StatGroup
     double formulaValue(const std::string &name) const;
 
     void reset();
+
+    /** Serialize every counter/average/histogram by name. Formulas are
+     *  closures re-registered at construction and are not serialized. */
+    void save(Ser &s) const;
+    /** Replace counters/averages/histograms with the saved set (lazy
+     *  stat creation is monotonic, so continuing a restored run yields
+     *  the same final name set as an uninterrupted one). Throws
+     *  SnapshotError if the group name differs. */
+    void restore(Deser &d);
 
     const std::string &name() const { return name_; }
     const std::map<std::string, Counter> &counters() const

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -85,6 +86,71 @@ AtomicQueue::find(SeqNum seq) const
             return static_cast<int>(i);
     }
     return -1;
+}
+
+void
+AtomicQueue::save(Ser &s) const
+{
+    s.section("aq");
+    s.u32(capacity);
+    s.u32(headIdx);
+    s.u32(tailIdx);
+    s.u32(count);
+    for (const AqEntry &e : slots) {
+        s.b(e.valid);
+        s.u64(e.seq);
+        s.u64(e.pc);
+        s.u64(e.addr);
+        s.b(e.locked);
+        s.b(e.contended);
+        s.b(e.oracleContended);
+        s.b(e.onlyCalcAddr);
+        s.b(e.predictedContended);
+        s.u16(e.issuedCycle14);
+        s.b(e.timestampValid);
+        s.u8(static_cast<std::uint8_t>(e.lockSource));
+        s.u64(e.newValue);
+        s.u64(static_cast<std::uint64_t>(e.sqIdx));
+        s.u64(e.dispatchCycle);
+        s.u64(e.readyCycle);
+        s.u64(e.issueCycle);
+        s.u64(e.lockCycle);
+    }
+}
+
+void
+AtomicQueue::restore(Deser &d)
+{
+    d.section("aq");
+    const std::uint32_t cap = d.u32();
+    if (cap != capacity) {
+        throw SnapshotError(strprintf(
+            "AQ capacity mismatch: image %u, configured %u", cap,
+            capacity));
+    }
+    headIdx = d.u32();
+    tailIdx = d.u32();
+    count = d.u32();
+    for (AqEntry &e : slots) {
+        e.valid = d.b();
+        e.seq = d.u64();
+        e.pc = d.u64();
+        e.addr = d.u64();
+        e.locked = d.b();
+        e.contended = d.b();
+        e.oracleContended = d.b();
+        e.onlyCalcAddr = d.b();
+        e.predictedContended = d.b();
+        e.issuedCycle14 = d.u16();
+        e.timestampValid = d.b();
+        e.lockSource = static_cast<FillSource>(d.u8());
+        e.newValue = d.u64();
+        e.sqIdx = static_cast<int>(d.u64());
+        e.dispatchCycle = d.u64();
+        e.readyCycle = d.u64();
+        e.issueCycle = d.u64();
+        e.lockCycle = d.u64();
+    }
 }
 
 } // namespace rowsim

@@ -23,6 +23,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /** One in-flight atomic RMW. */
 struct AqEntry
 {
@@ -146,6 +149,9 @@ class AtomicQueue
     /** RoW storage overhead of the AQ augmentation in bits (§IV-F):
      *  contended + only-calculate-address + 14-bit timestamp per entry. */
     unsigned rowStorageBits() const { return capacity * (1 + 1 + 14); }
+
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     unsigned capacity;

@@ -1,5 +1,7 @@
 #include "cpu/branch.hh"
 
+#include "sim/snapshot.hh"
+
 namespace rowsim
 {
 
@@ -65,6 +67,42 @@ BranchPredictor::update(Addr pc, bool taken)
     if (!correct)
         stats_.counter("mispredicts")++;
     return correct;
+}
+
+void
+BranchPredictor::save(Ser &s) const
+{
+    s.section("branch");
+    s.u32(tableBits);
+    s.u32(historyBits);
+    s.u64(history);
+    for (std::uint8_t c : bimodal)
+        s.u8(c);
+    for (std::uint8_t c : gshare)
+        s.u8(c);
+    for (std::uint8_t c : chooser)
+        s.u8(c);
+}
+
+void
+BranchPredictor::restore(Deser &d)
+{
+    d.section("branch");
+    const std::uint32_t tb = d.u32();
+    const std::uint32_t hb = d.u32();
+    if (tb != tableBits || hb != historyBits) {
+        throw SnapshotError(strprintf(
+            "branch predictor geometry mismatch: image %u/%u bits, "
+            "configured %u/%u",
+            tb, hb, tableBits, historyBits));
+    }
+    history = d.u64();
+    for (std::uint8_t &c : bimodal)
+        c = d.u8();
+    for (std::uint8_t &c : gshare)
+        c = d.u8();
+    for (std::uint8_t &c : chooser)
+        c = d.u8();
 }
 
 } // namespace rowsim

@@ -18,6 +18,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /** Tournament (bimodal + gshare) direction predictor. */
 class BranchPredictor
 {
@@ -32,6 +35,11 @@ class BranchPredictor
     bool update(Addr pc, bool taken);
 
     StatGroup &stats() { return stats_; }
+
+    /** Architectural state only (history + tables); stats travel in the
+     *  System's stats pass. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     unsigned bimodalIndex(Addr pc) const;

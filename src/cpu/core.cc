@@ -6,6 +6,7 @@
 #include "common/trace.hh"
 #include "mem/memsystem.hh"
 #include "sim/checker.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -1520,6 +1521,218 @@ Core::dumpDiag(std::FILE *out, Cycle now) const
         first = false;
     });
     std::fprintf(out, "]}");
+}
+
+void
+Core::save(Ser &s) const
+{
+    s.section("core");
+    s.u32(coreId);
+
+    // Every ROB slot is serialized, stale entries included: restored slot
+    // garbage then matches an uninterrupted run's, so any later image of
+    // the two executions stays bit-identical.
+    s.u64(robSlots.size());
+    for (const RobEntry &e : robSlots) {
+        saveOp(s, e.op);
+        s.u64(e.seq);
+        s.b(e.busy);
+        s.b(e.issued);
+        s.b(e.completed);
+        s.b(e.wokeDependents);
+        s.u8(e.depsPending);
+        s.u16(e.replayGen);
+        s.u64(e.dispatchCycle);
+        s.u64(e.readyCycle);
+        s.u64(static_cast<std::uint64_t>(e.lqIdx));
+        s.u64(static_cast<std::uint64_t>(e.sqIdx));
+        s.u64(static_cast<std::uint64_t>(e.aqIdx));
+        s.u32(e.ssSet);
+        s.u8(static_cast<std::uint8_t>(e.astate));
+        s.b(e.lazySelected);
+        s.b(e.forwardedAtomic);
+        s.u64(e.waitStoreSeq);
+        s.u64(e.reissueReadyAt);
+        s.b(e.fillContentionHint);
+        s.u64(e.result);
+        s.u64(e.atomicNewValue);
+        s.u64(e.dependents.size());
+        for (SeqNum dep : e.dependents)
+            s.u64(dep);
+    }
+
+    lq.save(s);
+    sq.save(s);
+    aq.save(s);
+    branchPred.save(s);
+    storeSet.save(s);
+    rowPredictor.save(s);
+
+    s.u64(nextSeq);
+    s.u64(commitSeq);
+
+    // priority_queue has no iterators; copy-drain in pop order (ascending
+    // SeqNum), which is also exactly the order restore re-pushes in.
+    auto readyCopy = readyQueue;
+    s.u64(readyCopy.size());
+    while (!readyCopy.empty()) {
+        s.u64(readyCopy.top());
+        readyCopy.pop();
+    }
+
+    s.u64(waiting.size());
+    for (SeqNum w : waiting)
+        s.u64(w);
+
+    s.u64(completions.size());
+    for (const auto &[cycle, ev] : completions) {
+        s.u64(cycle);
+        s.u64(ev.first);
+        s.u16(ev.second);
+    }
+
+    s.u64(pendingUnlocks.size());
+    for (const auto &[cycle, seq] : pendingUnlocks) {
+        s.u64(cycle);
+        s.u64(seq);
+    }
+
+    s.u64(memBarriers.size());
+    for (SeqNum b : memBarriers)
+        s.u64(b);
+
+    s.u64(fwdLockWaiters.size());
+    for (const auto &[storeSeq, atomicSeq] : fwdLockWaiters) {
+        s.u64(storeSeq);
+        s.u64(atomicSeq);
+    }
+
+    s.u64(fetchBuffer.size());
+    for (const MicroOp &op : fetchBuffer)
+        saveOp(s, op);
+    s.u64(fetchBlockedBy);
+    s.u64(fetchBlockedUntil);
+    s.u32(iqOccupancy);
+    s.b(halted);
+    s.b(issueTruncated_);
+
+    s.u64(committedInsts);
+    s.u64(committedAtomicCount);
+    s.u64(iterations);
+
+    stream->save(s);
+}
+
+void
+Core::restore(Deser &d)
+{
+    d.section("core");
+    const CoreId id = d.u32();
+    if (id != coreId) {
+        throw SnapshotError(strprintf(
+            "core id mismatch: image core %u restored into core %u", id,
+            coreId));
+    }
+
+    const std::uint64_t nRob = d.u64();
+    if (nRob != robSlots.size()) {
+        throw SnapshotError(strprintf(
+            "ROB size mismatch: image %llu entries, configured %zu",
+            static_cast<unsigned long long>(nRob), robSlots.size()));
+    }
+    for (RobEntry &e : robSlots) {
+        restoreOp(d, e.op);
+        e.seq = d.u64();
+        e.busy = d.b();
+        e.issued = d.b();
+        e.completed = d.b();
+        e.wokeDependents = d.b();
+        e.depsPending = d.u8();
+        e.replayGen = d.u16();
+        e.dispatchCycle = d.u64();
+        e.readyCycle = d.u64();
+        e.lqIdx = static_cast<int>(d.u64());
+        e.sqIdx = static_cast<int>(d.u64());
+        e.aqIdx = static_cast<int>(d.u64());
+        e.ssSet = d.u32();
+        e.astate = static_cast<AState>(d.u8());
+        e.lazySelected = d.b();
+        e.forwardedAtomic = d.b();
+        e.waitStoreSeq = d.u64();
+        e.reissueReadyAt = d.u64();
+        e.fillContentionHint = d.b();
+        e.result = d.u64();
+        e.atomicNewValue = d.u64();
+        e.dependents.resize(d.u64());
+        for (SeqNum &dep : e.dependents)
+            dep = d.u64();
+    }
+
+    lq.restore(d);
+    sq.restore(d);
+    aq.restore(d);
+    branchPred.restore(d);
+    storeSet.restore(d);
+    rowPredictor.restore(d);
+
+    nextSeq = d.u64();
+    commitSeq = d.u64();
+
+    readyQueue = {};
+    const std::uint64_t nReady = d.u64();
+    for (std::uint64_t i = 0; i < nReady; i++)
+        readyQueue.push(d.u64());
+
+    waiting.resize(d.u64());
+    for (SeqNum &w : waiting)
+        w = d.u64();
+
+    completions.clear();
+    const std::uint64_t nCompl = d.u64();
+    for (std::uint64_t i = 0; i < nCompl; i++) {
+        const Cycle cycle = d.u64();
+        const SeqNum seq = d.u64();
+        const std::uint16_t gen = d.u16();
+        completions.emplace_hint(completions.end(), cycle,
+                                 std::make_pair(seq, gen));
+    }
+
+    pendingUnlocks.clear();
+    const std::uint64_t nUnlocks = d.u64();
+    for (std::uint64_t i = 0; i < nUnlocks; i++) {
+        const Cycle cycle = d.u64();
+        const SeqNum seq = d.u64();
+        pendingUnlocks.emplace_hint(pendingUnlocks.end(), cycle, seq);
+    }
+
+    memBarriers.clear();
+    const std::uint64_t nBarriers = d.u64();
+    for (std::uint64_t i = 0; i < nBarriers; i++)
+        memBarriers.insert(memBarriers.end(), d.u64());
+
+    fwdLockWaiters.clear();
+    const std::uint64_t nFwd = d.u64();
+    for (std::uint64_t i = 0; i < nFwd; i++) {
+        const SeqNum storeSeq = d.u64();
+        const SeqNum atomicSeq = d.u64();
+        fwdLockWaiters.emplace_hint(fwdLockWaiters.end(), storeSeq,
+                                    atomicSeq);
+    }
+
+    fetchBuffer.resize(d.u64());
+    for (MicroOp &op : fetchBuffer)
+        restoreOp(d, op);
+    fetchBlockedBy = d.u64();
+    fetchBlockedUntil = d.u64();
+    iqOccupancy = d.u32();
+    halted = d.b();
+    issueTruncated_ = d.b();
+
+    committedInsts = d.u64();
+    committedAtomicCount = d.u64();
+    iterations = d.u64();
+
+    stream->restore(d);
 }
 
 } // namespace rowsim

@@ -118,6 +118,12 @@ class Core : public MemClient
      *  lines, and occupancy — emitted by System::dumpCrashDiagnostics. */
     void dumpDiag(std::FILE *out, Cycle now) const;
 
+    /** Architectural state: ROB, queues, predictors, scheduling events,
+     *  the instruction stream position. Stats travel in the System's
+     *  stats pass. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
+
   private:
     /** Per-atomic execution progress. */
     enum class AState : std::uint8_t

@@ -18,6 +18,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /** Word-granular address (all simulated accesses are 8-byte words). */
 constexpr Addr
 wordAlign(Addr a)
@@ -99,6 +102,9 @@ class LoadQueue
         }
     }
 
+    void save(Ser &s) const;
+    void restore(Deser &d);
+
   private:
     unsigned capacity;
     unsigned headIdx = 0;
@@ -177,6 +183,9 @@ class StoreQueue
             fn(slots[idx]);
         }
     }
+
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     unsigned capacity;

@@ -1,5 +1,7 @@
 #include "cpu/storeset.hh"
 
+#include "sim/snapshot.hh"
+
 namespace rowsim
 {
 
@@ -70,6 +72,39 @@ StoreSet::clear()
         s = invalidSet;
     for (auto &f : lfst)
         f = 0;
+}
+
+void
+StoreSet::save(Ser &s) const
+{
+    s.section("storeset");
+    s.u32(ssitBits);
+    s.u64(lfst.size());
+    for (std::uint32_t v : ssit)
+        s.u32(v);
+    for (SeqNum v : lfst)
+        s.u64(v);
+    s.u32(nextSetId);
+}
+
+void
+StoreSet::restore(Deser &d)
+{
+    d.section("storeset");
+    const std::uint32_t bits = d.u32();
+    const std::uint64_t lfstEntries = d.u64();
+    if (bits != ssitBits || lfstEntries != lfst.size()) {
+        throw SnapshotError(strprintf(
+            "store-set geometry mismatch: image %u bits / %llu LFST "
+            "entries, configured %u / %zu",
+            bits, static_cast<unsigned long long>(lfstEntries), ssitBits,
+            lfst.size()));
+    }
+    for (std::uint32_t &v : ssit)
+        v = d.u32();
+    for (SeqNum &v : lfst)
+        v = d.u64();
+    nextSetId = d.u32();
 }
 
 } // namespace rowsim

@@ -19,6 +19,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 class StoreSet
 {
   public:
@@ -49,6 +52,9 @@ class StoreSet
     void clear();
 
     StatGroup &stats() { return stats_; }
+
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     unsigned index(Addr pc) const;

@@ -1,0 +1,48 @@
+#include "cpu/stream.hh"
+
+#include "common/log.hh"
+#include "sim/snapshot.hh"
+
+namespace rowsim
+{
+
+void
+InstStream::save(Ser &) const
+{
+    throw SnapshotError("this instruction-stream type does not support "
+                        "checkpointing");
+}
+
+void
+InstStream::restore(Deser &)
+{
+    throw SnapshotError("this instruction-stream type does not support "
+                        "checkpointing");
+}
+
+// The loop body is config-derived; only the position needs to travel.
+void
+LoopStream::save(Ser &s) const
+{
+    s.section("loopstream");
+    s.u64(body_.size());
+    s.u64(idx);
+}
+
+void
+LoopStream::restore(Deser &d)
+{
+    d.section("loopstream");
+    const std::uint64_t size = d.u64();
+    if (size != body_.size()) {
+        throw SnapshotError(strprintf(
+            "loop stream body mismatch: image has %llu ops, this run "
+            "built %zu",
+            static_cast<unsigned long long>(size), body_.size()));
+    }
+    idx = static_cast<std::size_t>(d.u64());
+    if (idx >= body_.size())
+        throw SnapshotError("loop stream position out of range");
+}
+
+} // namespace rowsim

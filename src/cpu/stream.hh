@@ -14,6 +14,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /**
  * An infinite per-thread micro-op stream. Implementations must be
  * deterministic functions of their seed so experiments are reproducible.
@@ -25,6 +28,12 @@ class InstStream
 
     /** Produce the next micro-op. */
     virtual MicroOp next() = 0;
+
+    /** Snapshot the stream's position. The defaults throw SnapshotError:
+     *  a stream type that cannot round-trip must refuse to checkpoint
+     *  rather than silently resume from the wrong place. */
+    virtual void save(Ser &s) const;
+    virtual void restore(Deser &d);
 };
 
 /** A fixed vector of micro-ops, repeated forever (testing and simple
@@ -44,6 +53,9 @@ class LoopStream : public InstStream
         idx = (idx + 1) % body_.size();
         return op;
     }
+
+    void save(Ser &s) const override;
+    void restore(Deser &d) override;
 
   private:
     std::vector<MicroOp> body_;

@@ -1,6 +1,9 @@
 #include "mem/cache_array.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -101,10 +104,66 @@ CacheArray::invalidate(Addr line_addr)
         if (l.valid() && l.tag == aligned) {
             l.state = CacheState::Invalid;
             l.tag = invalidAddr;
+            // Canonical invalid slot (snapshots serialize valid lines
+            // only; a stale LRU stamp here is never read).
+            l.lastUse = 0;
             return true;
         }
     }
     return false;
+}
+
+void
+CacheArray::save(Ser &s) const
+{
+    // Sparse: only valid lines travel. Invalid slots are canonical
+    // (default-constructed; invalidation resets the LRU stamp), so
+    // skipping them is exact — and it shrinks large, mostly-cold
+    // arrays from megabytes to the touched working set.
+    s.section("cachearray");
+    s.u32(numSets);
+    s.u32(numWays);
+    std::uint64_t valid = 0;
+    for (const Line &l : lines)
+        valid += l.valid();
+    s.u64(valid);
+    for (std::size_t i = 0; i < lines.size(); i++) {
+        const Line &l = lines[i];
+        if (!l.valid())
+            continue;
+        s.u32(static_cast<std::uint32_t>(i));
+        s.u64(l.tag);
+        s.u8(static_cast<std::uint8_t>(l.state));
+        s.u64(l.lastUse);
+    }
+}
+
+void
+CacheArray::restore(Deser &d)
+{
+    d.section("cachearray");
+    const std::uint32_t sets = d.u32();
+    const std::uint32_t ways = d.u32();
+    if (sets != numSets || ways != numWays) {
+        throw SnapshotError(strprintf(
+            "cache array geometry mismatch: image %ux%u, configured "
+            "%ux%u",
+            sets, ways, numSets, numWays));
+    }
+    std::fill(lines.begin(), lines.end(), Line{});
+    const std::uint64_t valid = d.u64();
+    for (std::uint64_t k = 0; k < valid; k++) {
+        const std::uint32_t i = d.u32();
+        if (i >= lines.size()) {
+            throw SnapshotError(strprintf(
+                "cache array slot %u out of range (%zu lines)", i,
+                lines.size()));
+        }
+        Line &l = lines[i];
+        l.tag = d.u64();
+        l.state = static_cast<CacheState>(d.u8());
+        l.lastUse = d.u64();
+    }
 }
 
 } // namespace rowsim

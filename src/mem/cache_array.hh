@@ -17,6 +17,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /**
  * A set-associative array of cacheline tags. Holds coherence state per
  * line; data values live in the system-wide functional memory, so the
@@ -72,6 +75,12 @@ class CacheArray
                 fn(l.tag, l.state);
         }
     }
+
+    /** Serialize the valid lines (sparse, with their slot indices and
+     *  LRU stamps) so restored victim choices replay exactly. Invalid
+     *  slots are canonical and need no bytes. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     unsigned numSets;

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -412,6 +413,109 @@ Directory::lineOwner(Addr line) const
 {
     auto it = entries.find(lineAlign(line));
     return it == entries.end() ? invalidCore : it->second.owner;
+}
+
+void
+Directory::save(Ser &s) const
+{
+    s.section("directory");
+    s.u32(bankIndex);
+
+    // Sorted key order: images must not depend on hash iteration order.
+    std::map<Addr, const Entry *> sorted;
+    for (const auto &kv : entries)
+        sorted.emplace(kv.first, &kv.second);
+    s.u64(sorted.size());
+    for (const auto &[line, e] : sorted) {
+        s.u64(line);
+        s.u8(static_cast<std::uint8_t>(e->state));
+        s.u64(e->sharers);
+        s.u32(e->owner);
+        s.u32(e->txnRequester);
+        s.u8(static_cast<std::uint8_t>(e->nextState));
+        s.u32(e->nextOwner);
+        s.u64(e->nextSharers);
+        s.u32(e->pendingAcks);
+        s.u64(e->dataReady);
+        s.b(e->dataPending);
+        saveMsg(s, e->dataMsg);
+        s.u64(e->blockedSince);
+        s.u64(e->queued.size());
+        for (const Msg &m : e->queued)
+            saveMsg(s, m);
+    }
+
+    s.u64(wake.size());
+    for (const auto &[cycle, line] : wake) {
+        s.u64(cycle);
+        s.u64(line);
+    }
+
+    s.u64(stallBuffer.size());
+    for (const Msg &m : stallBuffer)
+        saveMsg(s, m);
+    s.u64(stalledUntil);
+
+    llcArray.save(s);
+    s.u32(blockedLines);
+}
+
+void
+Directory::restore(Deser &d)
+{
+    d.section("directory");
+    const std::uint32_t bank = d.u32();
+    if (bank != bankIndex) {
+        throw SnapshotError(strprintf(
+            "directory bank mismatch: image bank %u restored into bank "
+            "%u",
+            bank, bankIndex));
+    }
+
+    entries.clear();
+    const std::uint64_t nEntries = d.u64();
+    for (std::uint64_t i = 0; i < nEntries; i++) {
+        const Addr line = d.u64();
+        Entry &e = entries[line];
+        e.state = static_cast<DirState>(d.u8());
+        e.sharers = d.u64();
+        e.owner = d.u32();
+        e.txnRequester = d.u32();
+        e.nextState = static_cast<DirState>(d.u8());
+        e.nextOwner = d.u32();
+        e.nextSharers = d.u64();
+        e.pendingAcks = d.u32();
+        e.dataReady = d.u64();
+        e.dataPending = d.b();
+        restoreMsg(d, e.dataMsg);
+        e.blockedSince = d.u64();
+        const std::uint64_t nQueued = d.u64();
+        for (std::uint64_t q = 0; q < nQueued; q++) {
+            Msg m;
+            restoreMsg(d, m);
+            e.queued.push_back(m);
+        }
+    }
+
+    wake.clear();
+    const std::uint64_t nWake = d.u64();
+    for (std::uint64_t i = 0; i < nWake; i++) {
+        const Cycle cycle = d.u64();
+        const Addr line = d.u64();
+        wake.emplace_hint(wake.end(), cycle, line);
+    }
+
+    stallBuffer.clear();
+    const std::uint64_t nStalled = d.u64();
+    for (std::uint64_t i = 0; i < nStalled; i++) {
+        Msg m;
+        restoreMsg(d, m);
+        stallBuffer.push_back(m);
+    }
+    stalledUntil = d.u64();
+
+    llcArray.restore(d);
+    blockedLines = d.u32();
 }
 
 } // namespace rowsim

@@ -122,6 +122,12 @@ class Directory : public MsgHandler
     void testSetLine(Addr line, DirState state, CoreId owner,
                      std::uint64_t sharers);
 
+    /** Architectural state: entries (including Blocked transients and
+     *  their queued requests), wake schedule, stall buffer, LLC array.
+     *  Stats travel in the System's stats pass. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
+
     StatGroup &stats() { return stats_; }
 
   private:

@@ -207,6 +207,11 @@ class PrivateCache : public MsgHandler
      *  in @p state, bypassing the protocol (checker death tests). */
     void testSetLineState(Addr line, CacheState state, Cycle now);
 
+    /** Architectural state: arrays, MSHRs, buffers, due completions.
+     *  Stats travel in the System's stats pass. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
+
     StatGroup &stats() { return stats_; }
 
     /** Stall age beyond which a pre-commit lock is forcibly released

@@ -1,5 +1,9 @@
 #include "mem/memsystem.hh"
 
+#include <map>
+
+#include "sim/snapshot.hh"
+
 namespace rowsim
 {
 
@@ -56,6 +60,54 @@ MemSystem::idle() const
         if (!c->idle())
             return false;
     return true;
+}
+
+void
+FunctionalMemory::save(Ser &s) const
+{
+    s.section("fmem");
+    std::map<Addr, std::uint64_t> sorted(words.begin(), words.end());
+    s.u64(sorted.size());
+    for (const auto &[addr, value] : sorted) {
+        s.u64(addr);
+        s.u64(value);
+    }
+}
+
+void
+FunctionalMemory::restore(Deser &d)
+{
+    d.section("fmem");
+    words.clear();
+    const std::uint64_t n = d.u64();
+    for (std::uint64_t i = 0; i < n; i++) {
+        const Addr addr = d.u64();
+        words[addr] = d.u64();
+    }
+}
+
+void
+MemSystem::save(Ser &s) const
+{
+    s.section("memsys");
+    net.save(s);
+    fmem.save(s);
+    for (const auto &c : caches)
+        c->save(s);
+    for (const auto &b : banks)
+        b->save(s);
+}
+
+void
+MemSystem::restore(Deser &d)
+{
+    d.section("memsys");
+    net.restore(d);
+    fmem.restore(d);
+    for (auto &c : caches)
+        c->restore(d);
+    for (auto &b : banks)
+        b->restore(d);
 }
 
 } // namespace rowsim

@@ -44,6 +44,10 @@ class FunctionalMemory
         words[addr & ~7ULL] = value;
     }
 
+    /** Serialized in sorted address order (hash order never leaks). */
+    void save(Ser &s) const;
+    void restore(Deser &d);
+
   private:
     std::unordered_map<Addr, std::uint64_t> words;
 };
@@ -73,6 +77,10 @@ class MemSystem
      *  (network delivery, cache completion, directory wake) absent new
      *  core activity. invalidCycle when quiescent (fast-forward bound). */
     Cycle nextEventCycle(Cycle now) const;
+
+    /** Compose every memory-side component's architectural state. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     Network net;

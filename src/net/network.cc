@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -199,6 +200,58 @@ Network::dumpDiag(std::FILE *out, Cycle now) const
     }
     std::fprintf(out, "]%s}",
                  inFlight.size() > 64 ? ",\"truncated\":true" : "");
+}
+
+void
+Network::save(Ser &s) const
+{
+    s.section("network");
+    s.u32(numNodes);
+
+    // Serialize in full (due, order) order, not heap layout: pop order is
+    // entirely comparator-determined (order is unique), so the physical
+    // heap arrangement is unobservable and must not affect the image.
+    std::vector<Pending> sorted(inFlight);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Pending &a, const Pending &b) { return b > a; });
+    s.u64(sorted.size());
+    for (const Pending &p : sorted) {
+        s.u64(p.due);
+        s.u64(p.order);
+        saveMsg(s, p.msg);
+    }
+
+    for (Cycle c : lastDelivery)
+        s.u64(c);
+    s.u64(nextOrder);
+}
+
+void
+Network::restore(Deser &d)
+{
+    d.section("network");
+    const std::uint32_t nodes = d.u32();
+    if (nodes != numNodes) {
+        throw SnapshotError(strprintf(
+            "network size mismatch: image has %u nodes, configured %u",
+            nodes, numNodes));
+    }
+
+    inFlight.clear();
+    const std::uint64_t nInFlight = d.u64();
+    for (std::uint64_t i = 0; i < nInFlight; i++) {
+        Pending p;
+        p.due = d.u64();
+        p.order = d.u64();
+        restoreMsg(d, p.msg);
+        inFlight.push_back(p);
+    }
+    std::make_heap(inFlight.begin(), inFlight.end(),
+                   std::greater<Pending>());
+
+    for (Cycle &c : lastDelivery)
+        c = d.u64();
+    nextOrder = d.u64();
 }
 
 } // namespace rowsim

@@ -24,6 +24,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 /**
  * The on-chip network. Endpoints register themselves by NodeId; send()
  * computes the delivery cycle from mesh distance and enqueues; tick()
@@ -77,6 +80,12 @@ class Network
     Cycle latency(NodeId a, NodeId b) const;
 
     StatGroup &stats() { return stats_; }
+
+    /** Architectural state: in-flight messages (serialized in (due,
+     *  order) order so the heap layout never leaks into the image),
+     *  point-to-point ordering floors, injection counter. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     struct Pending

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -84,6 +85,30 @@ unsigned
 ContentionPredictor::storageBits() const
 {
     return cfg.predictorEntries * cfg.counterBits;
+}
+
+void
+ContentionPredictor::save(Ser &s) const
+{
+    s.section("rowpred");
+    s.u64(table.size());
+    for (std::uint8_t c : table)
+        s.u8(c);
+}
+
+void
+ContentionPredictor::restore(Deser &d)
+{
+    d.section("rowpred");
+    const std::uint64_t entries = d.u64();
+    if (entries != table.size()) {
+        throw SnapshotError(strprintf(
+            "RoW predictor size mismatch: image %llu entries, "
+            "configured %zu",
+            static_cast<unsigned long long>(entries), table.size()));
+    }
+    for (std::uint8_t &c : table)
+        c = d.u8();
 }
 
 } // namespace rowsim

@@ -18,6 +18,9 @@
 namespace rowsim
 {
 
+class Ser;
+class Deser;
+
 class ContentionPredictor
 {
   public:
@@ -47,6 +50,9 @@ class ContentionPredictor
     unsigned counter(unsigned idx) const { return table[idx]; }
 
     StatGroup &stats() { return stats_; }
+
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     RowConfig cfg;

@@ -125,7 +125,7 @@ struct Holders
 } // namespace
 
 void
-Checker::checkSwmr(Cycle now)
+Checker::checkSwmr(Cycle /* now */)
 {
     const unsigned n = sys->numCores();
     MemSystem &mem = sys->mem();

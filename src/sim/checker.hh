@@ -108,6 +108,15 @@ class Checker
     /** First cycle at which tick() would sweep again (service hoist). */
     Cycle nextSweepAt() const { return lastSweep_ + interval_; }
 
+    /** Snapshot support: sweep schedule position (System aux pass). */
+    Cycle lastSweepAt() const { return lastSweep_; }
+    void
+    restoreSweepState(Cycle last_sweep, std::uint64_t sweeps)
+    {
+        lastSweep_ = last_sweep;
+        sweeps_ = sweeps;
+    }
+
   private:
     void checkSwmr(Cycle now);
     void checkLocks(Cycle now);

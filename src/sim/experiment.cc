@@ -1,11 +1,14 @@
 #include "sim/experiment.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
 
 #include "common/log.hh"
 #include "sim/profiles.hh"
+#include "sim/snapshot.hh"
 #include "sim/system.hh"
 #include "sim/workloads.hh"
 
@@ -233,6 +236,113 @@ writeProfileRecord(const RunResult &r, const std::string &path)
     std::fclose(f);
 }
 
+/** Checkpoint file name for one (workload, config, run-shape) tuple.
+ *  Everything that decides the warmup trajectory is part of the key, so
+ *  a stale file can never be restored into the wrong run (and the
+ *  config fingerprint embedded in the file backstops the rest). */
+std::string
+checkpointPath(const std::string &workload, const std::string &label,
+               unsigned num_cores, std::uint64_t seed, std::uint64_t quota,
+               std::uint64_t warm)
+{
+    const char *dir_env = std::getenv("ROWSIM_CKPT_DIR");
+    const std::string dir =
+        (dir_env && *dir_env) ? dir_env : "rowsim-ckpt";
+    auto sanitize = [](const std::string &in) {
+        std::string out;
+        for (const char ch : in) {
+            out += std::isalnum(static_cast<unsigned char>(ch)) ? ch
+                                                                : '_';
+        }
+        return out;
+    };
+    return dir + "/" + sanitize(workload) + "-" + sanitize(label) +
+           strprintf("-c%u-s%llu-q%llu-w%llu.ckpt", num_cores,
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(quota),
+                     static_cast<unsigned long long>(warm));
+}
+
+/**
+ * sys.run(quota), optionally short-circuited through a warmup
+ * checkpoint (ROWSIM_CKPT=save|restore|auto):
+ *
+ *  - save:    run to the warmup point, write the checkpoint, continue.
+ *  - restore: resume from the checkpoint (missing file is fatal).
+ *  - auto:    restore when the file exists, else run + save it.
+ *
+ * ROWSIM_CKPT_AT sets the warmup point in committed iterations per core
+ * (default quota/4); ROWSIM_CKPT_DIR the directory (default
+ * "rowsim-ckpt"). Because save→restore→run is bit-identical to an
+ * uninterrupted run, every downstream metric and stats dump is
+ * unaffected — only the wall-clock cost of re-simulating the warmup is.
+ */
+Cycle
+runMaybeCheckpointed(System &sys, const std::string &workload,
+                     const std::string &label, std::uint64_t quota)
+{
+    const char *mode_env = std::getenv("ROWSIM_CKPT");
+    if (!mode_env || !*mode_env)
+        return sys.run(quota);
+    const std::string mode = mode_env;
+    if (mode != "save" && mode != "restore" && mode != "auto") {
+        ROWSIM_FATAL("bad ROWSIM_CKPT '%s' (valid: save, restore, auto)",
+                     mode_env);
+    }
+    if (sys.profiler() && sys.profiler()->active()) {
+        ROWSIM_WARN("ROWSIM_CKPT ignored: the attribution profiler is "
+                    "active and snapshot format v1 does not carry its "
+                    "state");
+        return sys.run(quota);
+    }
+
+    std::uint64_t warm = quota / 4;
+    if (const char *at = std::getenv("ROWSIM_CKPT_AT"); at && *at)
+        warm = parseEnvU64("ROWSIM_CKPT_AT", at);
+    if (warm == 0 || warm >= quota) {
+        ROWSIM_WARN("ROWSIM_CKPT ignored: warmup point %llu outside "
+                    "(0, quota %llu)",
+                    static_cast<unsigned long long>(warm),
+                    static_cast<unsigned long long>(quota));
+        return sys.run(quota);
+    }
+
+    const std::string path = checkpointPath(
+        workload, label, sys.numCores(), sys.params().seed, quota, warm);
+
+    bool restored = false;
+    if (mode == "restore" || mode == "auto") {
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            sys.restoreCheckpoint(path);
+            restored = true;
+        } else if (mode == "restore") {
+            ROWSIM_FATAL("ROWSIM_CKPT=restore: checkpoint '%s' not "
+                         "found (populate it with ROWSIM_CKPT=save or "
+                         "auto)",
+                         path.c_str());
+        }
+    }
+    if (!restored) {
+        sys.runWarmup(quota, warm);
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), ec);
+        sys.saveCheckpoint(path);
+    }
+    // Degenerate case: every core already reached the quota at the
+    // warmup point, so the run is over — run(quota) would tick once
+    // more and report one extra cycle.
+    bool done = true;
+    for (CoreId c = 0; c < sys.numCores(); c++) {
+        if (sys.core(c).committedIterations() < quota) {
+            done = false;
+            break;
+        }
+    }
+    return done ? sys.now() : sys.run(quota);
+}
+
 /** Run @p workload on a fully-specified system and harvest the metrics. */
 RunResult
 runAndCollect(const std::string &workload, const SystemParams &sp,
@@ -248,7 +358,7 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     RunResult r;
     r.workload = workload;
     r.config = label;
-    r.cycles = sys.run(quota);
+    r.cycles = runMaybeCheckpointed(sys, workload, label, quota);
 
     r.instructions = sys.totalInstructions();
     r.atomicsCommitted = sys.totalAtomics();

@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/snapshot.hh"
 #include "sim/system.hh"
 
 namespace rowsim
@@ -151,6 +152,36 @@ FaultInjector::attemptEviction(Cycle now)
             return;
         }
     }
+}
+
+void
+FaultInjector::save(Ser &s) const
+{
+    s.section("faults");
+    s.u32(mask_);
+    s.u32(rate_);
+    std::uint64_t state[4];
+    rng.getState(state);
+    for (std::uint64_t w : state)
+        s.u64(w);
+}
+
+void
+FaultInjector::restore(Deser &d)
+{
+    d.section("faults");
+    const std::uint32_t mask = d.u32();
+    const std::uint32_t rate = d.u32();
+    if (mask != mask_ || rate != rate_) {
+        throw SnapshotError(strprintf(
+            "fault injector config mismatch: image mask %#x rate %u, "
+            "this run mask %#x rate %u",
+            mask, rate, mask_, rate_));
+    }
+    std::uint64_t state[4];
+    for (std::uint64_t &w : state)
+        w = d.u64();
+    rng.setState(state);
 }
 
 } // namespace rowsim

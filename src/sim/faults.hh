@@ -28,6 +28,8 @@ namespace rowsim
 {
 
 class System;
+class Ser;
+class Deser;
 
 /** One bit per fault family; combined into the injection mask. */
 enum class FaultCategory : std::uint32_t
@@ -74,6 +76,12 @@ class FaultInjector
     void tick(Cycle now);
 
     StatGroup &stats() { return stats_; }
+
+    /** Snapshot support: the RNG stream is the injector's only evolving
+     *  state (mask/seed/rate are config), and its position decides every
+     *  future fault, so it is part of the architectural image. */
+    void save(Ser &s) const;
+    void restore(Deser &d);
 
   private:
     /** Pick a line near the locked set (or any cached line) and try to

@@ -1,0 +1,325 @@
+#include "sim/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/sha256.hh"
+#include "cpu/microop.hh"
+#include "net/message.hh"
+
+namespace rowsim
+{
+
+namespace
+{
+
+/** File magic: "ROWSNAP\0". */
+constexpr std::uint8_t kMagic[8] = {'R', 'O', 'W', 'S', 'N', 'A', 'P', 0};
+
+/** Limit one string/section read to something sane so a corrupted length
+ *  field fails fast instead of attempting a huge allocation. */
+constexpr std::uint64_t kMaxString = 1u << 20;
+
+} // namespace
+
+void
+Ser::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+Ser::str(const std::string &s)
+{
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+Ser::section(const char *tag)
+{
+    u8(0xA5);
+    str(tag);
+}
+
+void
+Deser::need(std::size_t n) const
+{
+    if (size_ - pos_ < n) {
+        throw SnapshotError(
+            strprintf("truncated image: need %zu bytes at offset %zu, "
+                      "only %zu remain",
+                      n, pos_, size_ - pos_));
+    }
+}
+
+std::uint8_t
+Deser::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint16_t
+Deser::u16()
+{
+    need(2);
+    std::uint16_t v = 0;
+    for (unsigned i = 0; i < 2; i++)
+        v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+Deser::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; i++)
+        v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Deser::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; i++)
+        v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+bool
+Deser::b()
+{
+    const std::uint8_t v = u8();
+    if (v > 1)
+        throw SnapshotError(strprintf("corrupted bool value %u", v));
+    return v != 0;
+}
+
+double
+Deser::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+Deser::str()
+{
+    const std::uint64_t n = u64();
+    if (n > kMaxString)
+        throw SnapshotError(
+            strprintf("corrupted string length %llu",
+                      static_cast<unsigned long long>(n)));
+    need(static_cast<std::size_t>(n));
+    std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+}
+
+void
+Deser::section(const char *tag)
+{
+    const std::uint8_t marker = u8();
+    if (marker != 0xA5) {
+        throw SnapshotError(
+            strprintf("section marker for '%s' missing (stream out of "
+                      "sync at offset %zu)",
+                      tag, pos_ - 1));
+    }
+    const std::string found = str();
+    if (found != tag) {
+        throw SnapshotError(strprintf(
+            "section mismatch: expected '%s', found '%s'", tag,
+            found.c_str()));
+    }
+}
+
+void
+Deser::expectEnd() const
+{
+    if (pos_ != size_) {
+        throw SnapshotError(
+            strprintf("%zu trailing bytes after restore", size_ - pos_));
+    }
+}
+
+void
+saveMsg(Ser &s, const Msg &m)
+{
+    s.u8(static_cast<std::uint8_t>(m.type));
+    s.u64(m.line);
+    s.u32(m.src);
+    s.u32(m.dst);
+    s.u32(m.requester);
+    s.b(m.fromPrivateCache);
+    s.b(m.excl);
+    s.b(m.fromMemory);
+    s.b(m.contentionHint);
+    s.u64(m.sent);
+}
+
+void
+restoreMsg(Deser &d, Msg &m)
+{
+    m.type = static_cast<MsgType>(d.u8());
+    m.line = d.u64();
+    m.src = d.u32();
+    m.dst = d.u32();
+    m.requester = d.u32();
+    m.fromPrivateCache = d.b();
+    m.excl = d.b();
+    m.fromMemory = d.b();
+    m.contentionHint = d.b();
+    m.sent = d.u64();
+}
+
+void
+saveOp(Ser &s, const MicroOp &op)
+{
+    s.u8(static_cast<std::uint8_t>(op.cls));
+    s.u8(static_cast<std::uint8_t>(op.aop));
+    s.u64(op.addr);
+    s.u64(op.pc);
+    s.u16(op.execLatency);
+    s.u32(op.src0);
+    s.u32(op.src1);
+    s.b(op.takenBranch);
+    s.u64(op.value);
+    s.b(op.casExpectMismatch);
+    s.b(op.endOfIteration);
+}
+
+void
+restoreOp(Deser &d, MicroOp &op)
+{
+    op.cls = static_cast<OpClass>(d.u8());
+    op.aop = static_cast<AtomicOp>(d.u8());
+    op.addr = d.u64();
+    op.pc = d.u64();
+    op.execLatency = d.u16();
+    op.src0 = d.u32();
+    op.src1 = d.u32();
+    op.takenBranch = d.b();
+    op.value = d.u64();
+    op.casExpectMismatch = d.b();
+    op.endOfIteration = d.b();
+}
+
+void
+writeSnapshotFile(const std::string &path,
+                  const std::vector<std::uint8_t> &payload,
+                  std::uint64_t fingerprint)
+{
+    Ser header;
+    for (std::uint8_t c : kMagic)
+        header.u8(c);
+    header.u32(snapshotFormatVersion);
+    header.u64(fingerprint);
+    header.u64(payload.size());
+
+    Sha256 hasher;
+    hasher.update(payload.data(), payload.size());
+    const auto trailer = hasher.digest();
+
+    // Write-then-rename: readers only ever observe complete images, even
+    // when parallel sweep workers race on the same checkpoint key.
+    const std::string tmp =
+        path + strprintf(".tmp.%p", static_cast<const void *>(&payload));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SnapshotError(
+            strprintf("cannot create '%s'", tmp.c_str()));
+    bool ok =
+        std::fwrite(header.bytes().data(), 1, header.bytes().size(), f) ==
+            header.bytes().size() &&
+        (payload.empty() ||
+         std::fwrite(payload.data(), 1, payload.size(), f) ==
+             payload.size()) &&
+        std::fwrite(trailer.data(), 1, trailer.size(), f) ==
+            trailer.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw SnapshotError(strprintf("write to '%s' failed", tmp.c_str()));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError(
+            strprintf("cannot rename '%s' into place", tmp.c_str()));
+    }
+}
+
+std::vector<std::uint8_t>
+readSnapshotFile(const std::string &path, std::uint64_t expect_fingerprint)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError(strprintf("cannot open '%s'", path.c_str()));
+    std::vector<std::uint8_t> raw;
+    std::uint8_t chunk[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        raw.insert(raw.end(), chunk, chunk + n);
+    std::fclose(f);
+
+    Deser d(raw.data(), raw.size());
+    std::uint8_t magic[8];
+    for (auto &c : magic)
+        c = d.u8();
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw SnapshotError(
+            strprintf("'%s' is not a rowsim snapshot (bad magic)",
+                      path.c_str()));
+    const std::uint32_t version = d.u32();
+    if (version != snapshotFormatVersion) {
+        throw SnapshotError(strprintf(
+            "'%s' has snapshot format version %u; this build reads only "
+            "version %u",
+            path.c_str(), version, snapshotFormatVersion));
+    }
+    const std::uint64_t fingerprint = d.u64();
+    if (fingerprint != expect_fingerprint) {
+        throw SnapshotError(strprintf(
+            "'%s' was produced under a different configuration "
+            "(fingerprint %016llx, expected %016llx)",
+            path.c_str(), static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(expect_fingerprint)));
+    }
+    const std::uint64_t payloadLen = d.u64();
+    constexpr std::size_t headerBytes = 8 + 4 + 8 + 8;
+    constexpr std::size_t trailerBytes = 32;
+    if (raw.size() < headerBytes + trailerBytes ||
+        payloadLen != raw.size() - headerBytes - trailerBytes) {
+        throw SnapshotError(strprintf(
+            "'%s' is truncated (payload %llu bytes, file holds %zu)",
+            path.c_str(), static_cast<unsigned long long>(payloadLen),
+            raw.size()));
+    }
+
+    Sha256 hasher;
+    hasher.update(raw.data() + headerBytes,
+                  static_cast<std::size_t>(payloadLen));
+    const auto want = hasher.digest();
+    if (std::memcmp(want.data(), raw.data() + headerBytes + payloadLen,
+                    trailerBytes) != 0) {
+        throw SnapshotError(strprintf(
+            "'%s' is corrupted (payload digest mismatch)", path.c_str()));
+    }
+
+    return std::vector<std::uint8_t>(
+        raw.begin() + headerBytes,
+        raw.begin() + static_cast<std::ptrdiff_t>(headerBytes + payloadLen));
+}
+
+} // namespace rowsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Versioned, self-describing binary snapshot layer.
+ *
+ * `Ser` serializes into a byte buffer with an explicit little-endian
+ * encoding (so images and state digests are identical across platforms
+ * and compilers); `Deser` reads the same stream back with full bounds
+ * checking. Section tags make streams self-describing: every component
+ * frames its state with a named marker, and a reader that drifts out of
+ * sync fails with a named `SnapshotError` instead of undefined behaviour.
+ *
+ * Checkpoint files wrap one serialized payload in a header carrying a
+ * magic, the snapshot format version, and the producing System's
+ * configuration fingerprint, followed by a SHA-256 trailer over the
+ * payload. Truncated, corrupted, version-skewed, or config-mismatched
+ * files are all rejected with distinct named errors (see DESIGN.md
+ * "Snapshot format & compatibility").
+ *
+ * Every stateful component implements `save(Ser &) const` /
+ * `restore(Deser &)`; `System::save`/`System::restore` compose them, and
+ * `System::stateDigest()` hashes the architectural sections into the
+ * canonical golden digest CI compares across compilers.
+ */
+
+#ifndef ROWSIM_SIM_SNAPSHOT_HH
+#define ROWSIM_SIM_SNAPSHOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rowsim
+{
+
+struct Msg;
+struct MicroOp;
+
+/** Current on-disk snapshot format version. Bumped on any incompatible
+ *  payload layout change; readers reject other versions by name. */
+constexpr std::uint32_t snapshotFormatVersion = 1;
+
+/** Named failure of any snapshot operation: truncated or corrupted
+ *  files, format-version skew, configuration mismatch, section drift,
+ *  or an attempt to snapshot un-snapshottable state (active profiler). */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error("snapshot: " + what)
+    {
+    }
+};
+
+/** Serializer: appends explicitly little-endian fields to a buffer. */
+class Ser
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        buf_.push_back(static_cast<std::uint8_t>(v));
+        buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (unsigned i = 0; i < 4; i++)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; i++)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Doubles travel as IEEE-754 bit patterns: exact round-trips, and
+     *  bit-identical images whenever the computation that produced the
+     *  value is (all digested state is integral, keeping cross-compiler
+     *  digests safe from FP formatting differences). */
+    void f64(double v);
+
+    void str(const std::string &s);
+
+    /** Open a named section. Purely a framing marker: the reader
+     *  verifies it by name, catching any producer/consumer drift at the
+     *  first misaligned field instead of yielding garbage state. */
+    void section(const char *tag);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Deserializer over a byte buffer; every read is bounds-checked and
+ *  failures throw SnapshotError. */
+class Deser
+{
+  public:
+    Deser(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Deser(const std::vector<std::uint8_t> &buf)
+        : Deser(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    bool b();
+    double f64();
+    std::string str();
+
+    /** Verify the next section marker is @p tag. */
+    void section(const char *tag);
+
+    bool atEnd() const { return pos_ == size_; }
+    /** Reject images with bytes left over after a full restore. */
+    void expectEnd() const;
+
+  private:
+    void need(std::size_t n) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// Shared aggregate encoders (used by the cache, directory, network, core
+// and workload serializers).
+void saveMsg(Ser &s, const Msg &m);
+void restoreMsg(Deser &d, Msg &m);
+void saveOp(Ser &s, const MicroOp &op);
+void restoreOp(Deser &d, MicroOp &op);
+
+/**
+ * Write one checkpoint file: magic, format version, @p fingerprint,
+ * payload length, payload, SHA-256(payload). The file is written to a
+ * temporary name and atomically renamed, so concurrent sweep workers
+ * racing on the same checkpoint key never expose a partial image.
+ * Throws SnapshotError on I/O failure.
+ */
+void writeSnapshotFile(const std::string &path,
+                       const std::vector<std::uint8_t> &payload,
+                       std::uint64_t fingerprint);
+
+/**
+ * Read and validate a checkpoint file, returning the payload. Rejects —
+ * each with a distinct named SnapshotError — files that are not rowsim
+ * snapshots, carry another format version, were produced under a
+ * different configuration fingerprint, are truncated, or fail the
+ * SHA-256 payload check.
+ */
+std::vector<std::uint8_t> readSnapshotFile(const std::string &path,
+                                           std::uint64_t expect_fingerprint);
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_SNAPSHOT_HH

@@ -6,7 +6,9 @@
 #include <mutex>
 
 #include "common/log.hh"
+#include "common/sha256.hh"
 #include "common/trace.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -474,6 +476,22 @@ System::watchdogScan()
 Cycle
 System::run(std::uint64_t iter_quota)
 {
+    return runLoop(iter_quota, 0);
+}
+
+Cycle
+System::runWarmup(std::uint64_t iter_quota, std::uint64_t warm_iters)
+{
+    ROWSIM_ASSERT(warm_iters > 0 && warm_iters < iter_quota,
+                  "warmup stop %llu must lie inside the quota %llu",
+                  static_cast<unsigned long long>(warm_iters),
+                  static_cast<unsigned long long>(iter_quota));
+    return runLoop(iter_quota, warm_iters);
+}
+
+Cycle
+System::runLoop(std::uint64_t iter_quota, std::uint64_t warm_iters)
+{
     while (true) {
         tick();
 
@@ -490,6 +508,22 @@ System::run(std::uint64_t iter_quota)
             if (profiler_ && Profiler::enabled(ProfCategory::Check))
                 profiler_->checkConservation(currentCycle, "end of run");
             return currentCycle;
+        }
+        if (warm_iters) {
+            bool warm = true;
+            for (auto &c : cores) {
+                if (c->committedIterations() < warm_iters) {
+                    warm = false;
+                    break;
+                }
+            }
+            // Return with every core still running: the state here is
+            // exactly the state a cold run's loop continues from. (The
+            // one skipped fast-forward probe below is result-equivalent
+            // by construction — skipping later or less never changes
+            // simulated behaviour.)
+            if (warm)
+                return currentCycle;
         }
         // Deadlock detection lives in watchdogScan() (called from
         // tick()): per-core commit progress plus per-structure ages,
@@ -532,6 +566,234 @@ System::drain()
                          stuckSummary().c_str());
         }
     }
+}
+
+void
+System::saveArch(Ser &s) const
+{
+    // Integer-only pass: everything that decides future simulated
+    // behaviour. stateDigest() hashes exactly these bytes, so no
+    // floating-point value may land here (doubles travel in the stats
+    // pass, which is outside the digest).
+    s.section("arch");
+    s.u64(currentCycle);
+    for (const auto &c : cores)
+        c->save(s);
+    memsys.save(s);
+    s.b(faults_ != nullptr);
+    if (faults_)
+        faults_->save(s);
+}
+
+void
+System::saveAux(Ser &s) const
+{
+    // Bookkeeping that steers wall-clock behaviour (watchdog cadence,
+    // fast-forward backoff) but never simulated results; kept out of
+    // the digest so ROWSIM_FF settings cannot perturb it.
+    s.section("aux");
+    for (const auto &p : coreProgress_) {
+        s.u64(p.insts);
+        s.u64(p.cycle);
+    }
+    s.u64(lastWatchdogScan_);
+    s.u64(lastStructScan_);
+    s.u64(ffSkipped_);
+    s.u64(ffBackoff_);
+    s.u64(ffBackoffLen_);
+    s.u64(checker_->lastSweepAt());
+    s.u64(checker_->sweepsRun());
+}
+
+void
+System::saveStats(Ser &s) const
+{
+    // Groups travel in dumpStats/dumpStatsJson order, the one canonical
+    // walk of every group the simulator ever prints.
+    auto &self = const_cast<System &>(*this);
+    s.section("stats");
+    self.simStats_.save(s);
+    for (CoreId c = 0; c < cores.size(); c++) {
+        self.core(c).stats().save(s);
+        self.core(c).branchPredictor().stats().save(s);
+        self.core(c).predictor().stats().save(s);
+        self.mem().cache(c).stats().save(s);
+    }
+    for (unsigned b = 0; b < self.mem().numBanks(); b++)
+        self.mem().directory(b).stats().save(s);
+    self.mem().network().stats().save(s);
+    intervalStats_.save(s);
+}
+
+void
+System::save(Ser &s) const
+{
+    saveArch(s);
+    saveAux(s);
+    saveStats(s);
+}
+
+void
+System::restore(Deser &d)
+{
+    d.section("arch");
+    currentCycle = d.u64();
+    for (auto &c : cores)
+        c->restore(d);
+    memsys.restore(d);
+    const bool had_faults = d.b();
+    if (had_faults != (faults_ != nullptr)) {
+        throw SnapshotError(strprintf(
+            "fault-injection mismatch: image was taken %s fault "
+            "injection, this run is %s it",
+            had_faults ? "with" : "without",
+            faults_ ? "with" : "without"));
+    }
+    if (faults_)
+        faults_->restore(d);
+
+    d.section("aux");
+    for (auto &p : coreProgress_) {
+        p.insts = d.u64();
+        p.cycle = d.u64();
+    }
+    lastWatchdogScan_ = d.u64();
+    lastStructScan_ = d.u64();
+    ffSkipped_ = d.u64();
+    ffBackoff_ = d.u64();
+    ffBackoffLen_ = d.u64();
+    const Cycle last_sweep = d.u64();
+    const std::uint64_t sweeps = d.u64();
+    checker_->restoreSweepState(last_sweep, sweeps);
+
+    d.section("stats");
+    simStats_.restore(d);
+    for (CoreId c = 0; c < cores.size(); c++) {
+        core(c).stats().restore(d);
+        core(c).branchPredictor().stats().restore(d);
+        core(c).predictor().stats().restore(d);
+        mem().cache(c).stats().restore(d);
+    }
+    for (unsigned b = 0; b < mem().numBanks(); b++)
+        mem().directory(b).stats().restore(d);
+    mem().network().stats().restore(d);
+    intervalStats_.restore(d);
+
+    d.expectEnd();
+    // The service deadline is derived state: recompute it from the
+    // restored watchdog / sampler / checker positions.
+    recomputeNextService();
+    if (Trace::anyEnabled())
+        Trace::setNow(currentCycle);
+}
+
+std::uint64_t
+System::configFingerprint() const
+{
+    // Serialize every numeric architectural parameter and hash the
+    // bytes. Observability knobs (tracing, interval stats, profiling,
+    // checker cadence) are deliberately excluded: they never change
+    // simulated behaviour, so images stay interchangeable across them.
+    Ser s;
+    const CoreParams &cp = params_.core;
+    const RowConfig &rc = cp.row;
+    const MemParams &mp = params_.mem;
+    s.u32(params_.numCores);
+    s.u64(params_.seed);
+    s.u64(params_.deadlockCycles);
+    s.u32(cp.fetchWidth);
+    s.u32(cp.issueWidth);
+    s.u32(cp.commitWidth);
+    s.u32(cp.robEntries);
+    s.u32(cp.lqEntries);
+    s.u32(cp.sbEntries);
+    s.u32(cp.aqEntries);
+    s.u32(cp.iqEntries);
+    s.u32(cp.mispredictPenalty);
+    s.u32(cp.atomicReissueDelay);
+    s.b(cp.storeToLoadForwarding);
+    s.b(cp.forwardToAtomics);
+    s.u8(static_cast<std::uint8_t>(cp.atomicPolicy));
+    s.u8(static_cast<std::uint8_t>(rc.detector));
+    s.u8(static_cast<std::uint8_t>(rc.update));
+    s.u32(rc.predictorEntries);
+    s.u32(rc.counterBits);
+    s.u64(rc.latencyThreshold);
+    s.u32(rc.timestampBits);
+    s.b(rc.localityPromotion);
+    s.u32(mp.l1Sets);
+    s.u32(mp.l1Ways);
+    s.u64(mp.l1HitLatency);
+    s.u32(mp.l2Sets);
+    s.u32(mp.l2Ways);
+    s.u64(mp.l2HitLatency);
+    s.u32(mp.l3SetsPerBank);
+    s.u32(mp.l3Ways);
+    s.u64(mp.l3HitLatency);
+    s.u64(mp.memoryLatency);
+    s.u32(mp.mshrs);
+    s.b(mp.prefetcher);
+    s.u64(mp.lockStealThreshold);
+    s.u64(params_.net.hopLatency);
+    // Fault injection changes the architectural trajectory, so its
+    // whole setup is part of the fingerprint.
+    s.b(faults_ != nullptr);
+    if (faults_) {
+        s.u32(faults_->mask());
+        s.u64(faults_->seed());
+        s.u32(faults_->rate());
+    }
+    Sha256 h;
+    h.update(s.bytes().data(), s.bytes().size());
+    const auto digest = h.digest();
+    std::uint64_t fp = 0;
+    for (int i = 7; i >= 0; i--)
+        fp = (fp << 8) | digest[static_cast<std::size_t>(i)];
+    return fp;
+}
+
+std::string
+System::stateDigest() const
+{
+    Ser arch;
+    saveArch(arch);
+    const std::uint64_t fp = configFingerprint();
+    std::uint8_t fp_bytes[8];
+    for (unsigned i = 0; i < 8; i++)
+        fp_bytes[i] = static_cast<std::uint8_t>(fp >> (8 * i));
+    Sha256 h;
+    h.update(fp_bytes, sizeof(fp_bytes));
+    h.update(arch.bytes().data(), arch.bytes().size());
+    return Sha256::hex(h.digest());
+}
+
+void
+System::saveCheckpoint(const std::string &path) const
+{
+    if (profiler_ && profiler_->active()) {
+        throw SnapshotError(
+            "cannot checkpoint while the attribution profiler is "
+            "active (format v1 does not carry profiler state; rerun "
+            "with profiling off)");
+    }
+    Ser s;
+    save(s);
+    writeSnapshotFile(path, s.bytes(), configFingerprint());
+}
+
+void
+System::restoreCheckpoint(const std::string &path)
+{
+    if (profiler_ && profiler_->active()) {
+        throw SnapshotError(
+            "cannot restore a checkpoint while the attribution "
+            "profiler is active (format v1 does not carry profiler "
+            "state; rerun with profiling off)");
+    }
+    const std::vector<std::uint8_t> payload =
+        readSnapshotFile(path, configFingerprint());
+    Deser d(payload);
+    restore(d);
 }
 
 std::string
@@ -624,6 +886,21 @@ System::dumpCrashDiagnostics(const char *reason)
             std::fprintf(stderr,
                          "rowsim: cannot write crash dump to '%s'\n",
                          path);
+        }
+    }
+    // Crash checkpoint (ROWSIM_CRASH_CKPT): reuse the snapshot layer to
+    // leave a resumable image behind. Best effort — a panic can fire
+    // mid-tick, and a failed save must not mask the original panic.
+    if (const char *ckpt = std::getenv("ROWSIM_CRASH_CKPT");
+        ckpt && *ckpt) {
+        try {
+            saveCheckpoint(ckpt);
+            std::fprintf(stderr,
+                         "rowsim: crash checkpoint written to '%s'\n",
+                         ckpt);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rowsim: crash checkpoint failed: %s\n",
+                         e.what());
         }
     }
     std::fflush(stderr);

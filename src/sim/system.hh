@@ -46,8 +46,48 @@ class System
      */
     Cycle run(std::uint64_t iter_quota);
 
+    /**
+     * Run like run(), but return as soon as every core has committed at
+     * least @p warm_iters iterations, without halting any core: the
+     * caller can checkpoint the warmed-up system here and a later
+     * restore + run(iter_quota) replays the cold run bit-exactly.
+     * @p warm_iters must satisfy 0 < warm_iters < iter_quota.
+     */
+    Cycle runWarmup(std::uint64_t iter_quota, std::uint64_t warm_iters);
+
     /** Advance exactly @p cycles (micro-tests). */
     void runCycles(Cycle cycles);
+
+    // ---- checkpoint / restore (see src/sim/snapshot.hh) ----
+
+    /** Serialize the complete simulation state: the architectural pass
+     *  (everything deciding future simulated behaviour — integer-only,
+     *  hashed by stateDigest()), the auxiliary pass (watchdog /
+     *  fast-forward bookkeeping) and the statistics pass. */
+    void save(Ser &s) const;
+    /** Restore a state written by save() into this — identically
+     *  configured — System; throws SnapshotError naming the first
+     *  mismatching structure otherwise. */
+    void restore(Deser &d);
+
+    /** 64-bit digest of the architectural configuration (widths, queue
+     *  capacities, cache geometry, policies, seed, fault setup).
+     *  Embedded in checkpoint files so an image can never be restored
+     *  under different parameters; observability knobs are excluded
+     *  because they never change simulated behaviour. */
+    std::uint64_t configFingerprint() const;
+
+    /** Canonical SHA-256 hex digest over the architectural state (config
+     *  fingerprint + the integer-only arch pass). Bit-stable across
+     *  compilers and platforms; CI compares these as golden values. */
+    std::string stateDigest() const;
+
+    /** Write / read a whole-System checkpoint file (container format in
+     *  snapshot.hh). Throws SnapshotError on any failure; refused while
+     *  the attribution profiler is active, whose incremental state the
+     *  v1 format does not carry. */
+    void saveCheckpoint(const std::string &path) const;
+    void restoreCheckpoint(const std::string &path);
 
     /** Halt every core and tick until pipelines and the memory system
      *  fully quiesce (atomicity invariant checks read memory after).
@@ -127,6 +167,14 @@ class System
     };
 
     void tick();
+    /** Shared body of run() / runWarmup(): run to @p iter_quota, or —
+     *  when @p warm_iters is non-zero — return early (cores unhalted)
+     *  once every core has committed warm_iters iterations. */
+    Cycle runLoop(std::uint64_t iter_quota, std::uint64_t warm_iters);
+    /** The three save() passes (see save()). */
+    void saveArch(Ser &s) const;
+    void saveAux(Ser &s) const;
+    void saveStats(Ser &s) const;
     /** Rare per-tick services (interval sample, checker sweep, watchdog
      *  scan), entered only when currentCycle reaches the precomputed
      *  nextServiceCycle_ — the common-case tick does one comparison. */

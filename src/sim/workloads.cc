@@ -1,6 +1,7 @@
 #include "sim/workloads.hh"
 
 #include "common/log.hh"
+#include "sim/snapshot.hh"
 
 namespace rowsim
 {
@@ -194,6 +195,48 @@ makeStreams(const WorkloadProfile &profile, unsigned num_cores,
     for (CoreId c = 0; c < num_cores; c++)
         out.push_back(std::make_unique<KernelStream>(profile, c, seed));
     return out;
+}
+
+// The profile itself is config-derived; the RNG and iteration buffer are
+// the stream's only evolving state.
+void
+KernelStream::save(Ser &s) const
+{
+    s.section("kernelstream");
+    s.u32(tid);
+    std::uint64_t rngState[4];
+    rng.getState(rngState);
+    for (std::uint64_t w : rngState)
+        s.u64(w);
+    s.u64(iterCount);
+    s.u64(buf.size());
+    for (const MicroOp &op : buf)
+        saveOp(s, op);
+    s.u64(bufPos);
+}
+
+void
+KernelStream::restore(Deser &d)
+{
+    d.section("kernelstream");
+    const CoreId id = d.u32();
+    if (id != tid) {
+        throw SnapshotError(strprintf(
+            "kernel stream thread mismatch: image tid %u restored into "
+            "tid %u",
+            id, tid));
+    }
+    std::uint64_t rngState[4];
+    for (std::uint64_t &w : rngState)
+        w = d.u64();
+    rng.setState(rngState);
+    iterCount = d.u64();
+    buf.resize(d.u64());
+    for (MicroOp &op : buf)
+        restoreOp(d, op);
+    bufPos = static_cast<std::size_t>(d.u64());
+    if (bufPos > buf.size())
+        throw SnapshotError("kernel stream position out of range");
 }
 
 } // namespace rowsim

@@ -135,6 +135,9 @@ class KernelStream : public InstStream
 
     MicroOp next() override;
 
+    void save(Ser &s) const override;
+    void restore(Deser &d) override;
+
   private:
     void genIteration();
 

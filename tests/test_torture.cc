@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -130,7 +131,23 @@ TEST_P(Torture, CheckerCleanAndAtomicUnderChaos)
     EXPECT_GE(total, static_cast<std::uint64_t>(tc.cores) * 12u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Torture, ::testing::Range(0u, 16u),
+/** Seed count: 16 for the PR gate, widened via ROWSIM_TORTURE_SEEDS
+ *  (the nightly workflow runs 64). Read once at static-init time, when
+ *  gtest instantiates the parameterised suite. */
+unsigned
+tortureSeedCount()
+{
+    if (const char *env = std::getenv("ROWSIM_TORTURE_SEEDS");
+        env && *env) {
+        const unsigned long n = std::strtoul(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return 16;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Torture,
+                         ::testing::Range(0u, tortureSeedCount()),
                          [](const ::testing::TestParamInfo<unsigned> &i) {
                              return "seed" + std::to_string(i.param);
                          });

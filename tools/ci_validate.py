@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""CI artifact validators for rowsim.
+
+Centralises the schema and determinism checks that used to live as
+inline heredocs in .github/workflows/ci.yml, so they are unit-testable
+and identical between the PR gate and the nightly matrix.
+
+Subcommands:
+  perf-schema PERF_JSON [--min-entries N]
+                                bench/perf_baseline history file: schema
+                                (host, workloads, positive metrics), at
+                                least N history entries (default 1).
+  history-stability PERF_JSON   every entry in the file must report the
+                                same sim_cycles per workload. Only valid
+                                for same-build double-runs (one CI job
+                                appending to one file); sim_cycles may
+                                legitimately change across commits.
+  profile-schema PROFILE_JSONL  tools/profile_report input records: run
+                                labels, CPI-stack slot conservation,
+                                RoW decision totals, per-PC tables.
+  selftest                      run the built-in unit tests.
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+PROFILE_CPI_BUCKETS = {
+    "retired", "frontendStall", "robFull", "exec", "sqDrainWait",
+    "atomicLazyWait", "atomicExecute", "coherenceMiss", "idle",
+}
+
+
+class ValidationError(Exception):
+    """A CI artifact violated its contract."""
+
+
+def validate_perf_schema(doc, min_entries=1):
+    """Validate a perf_baseline history document (a list of run entries)."""
+    if not isinstance(doc, list) or len(doc) < min_entries:
+        raise ValidationError(
+            f"expected a history array of >= {min_entries} entries, "
+            f"got {type(doc).__name__} of {len(doc) if isinstance(doc, list) else 'n/a'}")
+    for i, entry in enumerate(doc):
+        if "host" not in entry or "workloads" not in entry:
+            raise ValidationError(f"entry {i}: missing host/workloads")
+        if not entry["workloads"]:
+            raise ValidationError(f"entry {i}: empty workloads")
+        for w, m in entry["workloads"].items():
+            for key in ("sim_cycles", "wall_ms", "cycles_per_sec"):
+                if m.get(key, 0) <= 0:
+                    raise ValidationError(
+                        f"entry {i}, workload {w}: {key} must be > 0, "
+                        f"got {m.get(key)}")
+    return len(doc)
+
+
+def validate_history_stability(doc):
+    """All entries of a same-build history must agree on sim_cycles.
+
+    The simulator is deterministic: two runs of one binary simulate the
+    same machine, so any sim_cycles difference inside one file is a
+    determinism bug. (Cross-commit comparisons do not belong here.)
+    """
+    validate_perf_schema(doc, min_entries=2)
+    base = doc[0]["workloads"]
+    for i, entry in enumerate(doc[1:], start=1):
+        for w, m in base.items():
+            if w not in entry["workloads"]:
+                raise ValidationError(f"entry {i}: workload {w} missing")
+            got = entry["workloads"][w]["sim_cycles"]
+            if got != m["sim_cycles"]:
+                raise ValidationError(
+                    f"workload {w}: sim_cycles drifted between runs of "
+                    f"the same build ({m['sim_cycles']} vs {got}) — "
+                    f"determinism regression")
+    return len(doc)
+
+
+def validate_profile_records(lines):
+    """Validate profiler JSONL records (tools/profile_report input)."""
+    n = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"line {lineno}: bad JSON: {e}")
+        if not rec.get("workload") or not rec.get("config"):
+            raise ValidationError(f"line {lineno}: missing run labels")
+        p = rec["profile"]
+        width = p.get("commitWidth", 0)
+        if width <= 0:
+            raise ValidationError(f"line {lineno}: commitWidth must be > 0")
+        # Slot conservation: every core's CPI stack sums to
+        # cycles x commitWidth.
+        for core in p["cpi"]:
+            total = sum(core[b] for b in PROFILE_CPI_BUCKETS)
+            if total != rec["cycles"] * width:
+                raise ValidationError(
+                    f"line {lineno} ({rec['workload']}), core "
+                    f"{core['core']}: CPI stack sums to {total}, "
+                    f"expected {rec['cycles'] * width}")
+        if p.get("linesTracked", 0) <= 0 or not p.get("lines"):
+            raise ValidationError(f"line {lineno}: no hot-line profile")
+        t = p["row"]["totals"]
+        if t["updates"] != (t["eagerUncontended"] + t["eagerContended"]
+                            + t["lazyUncontended"] + t["lazyContended"]):
+            raise ValidationError(
+                f"line {lineno}: RoW decision totals do not sum to "
+                f"updates")
+        if not p.get("pcs"):
+            raise ValidationError(f"line {lineno}: no per-PC table")
+        n += 1
+    if n == 0:
+        raise ValidationError("no profile records")
+    return n
+
+
+def _selftest():
+    import copy
+    import unittest
+
+    good_perf = [
+        {"host": "ci", "workloads": {
+            "cq": {"sim_cycles": 100, "wall_ms": 5.0,
+                   "cycles_per_sec": 2e4},
+            "sps": {"sim_cycles": 250, "wall_ms": 9.0,
+                    "cycles_per_sec": 2.7e4}}},
+        {"host": "ci", "workloads": {
+            "cq": {"sim_cycles": 100, "wall_ms": 4.0,
+                   "cycles_per_sec": 2.5e4},
+            "sps": {"sim_cycles": 250, "wall_ms": 8.0,
+                    "cycles_per_sec": 3.1e4}}},
+    ]
+    good_profile = json.dumps({
+        "workload": "cq", "config": "eager", "cycles": 10,
+        "profile": {
+            "commitWidth": 2,
+            "cpi": [{"core": 0, "retired": 6, "frontendStall": 2,
+                     "robFull": 2, "exec": 4, "sqDrainWait": 0,
+                     "atomicLazyWait": 2, "atomicExecute": 2,
+                     "coherenceMiss": 1, "idle": 1}],
+            "linesTracked": 1, "lines": [{"line": 64}],
+            "row": {"totals": {"updates": 4, "eagerUncontended": 1,
+                               "eagerContended": 1, "lazyUncontended": 1,
+                               "lazyContended": 1}},
+            "pcs": [{"pc": 4096}]}})
+
+    class SelfTest(unittest.TestCase):
+        def test_perf_schema_accepts_good(self):
+            self.assertEqual(validate_perf_schema(good_perf), 2)
+
+        def test_perf_schema_rejects_non_list(self):
+            with self.assertRaises(ValidationError):
+                validate_perf_schema({"host": "ci"})
+
+        def test_perf_schema_rejects_nonpositive_metric(self):
+            bad = copy.deepcopy(good_perf)
+            bad[1]["workloads"]["cq"]["wall_ms"] = 0
+            with self.assertRaises(ValidationError):
+                validate_perf_schema(bad)
+
+        def test_perf_schema_rejects_empty_workloads(self):
+            with self.assertRaises(ValidationError):
+                validate_perf_schema([{"host": "ci", "workloads": {}}])
+
+        def test_stability_accepts_stable_history(self):
+            self.assertEqual(validate_history_stability(good_perf), 2)
+
+        def test_stability_needs_two_entries(self):
+            with self.assertRaises(ValidationError):
+                validate_history_stability(good_perf[:1])
+
+        def test_stability_rejects_cycle_drift(self):
+            bad = copy.deepcopy(good_perf)
+            bad[1]["workloads"]["sps"]["sim_cycles"] = 251
+            with self.assertRaisesRegex(ValidationError, "sps"):
+                validate_history_stability(bad)
+
+        def test_profile_accepts_good_record(self):
+            self.assertEqual(validate_profile_records([good_profile]), 1)
+
+        def test_profile_rejects_unbalanced_cpi_stack(self):
+            rec = json.loads(good_profile)
+            rec["profile"]["cpi"][0]["idle"] += 1
+            with self.assertRaisesRegex(ValidationError, "CPI stack"):
+                validate_profile_records([json.dumps(rec)])
+
+        def test_profile_rejects_unbalanced_row_totals(self):
+            rec = json.loads(good_profile)
+            rec["profile"]["row"]["totals"]["updates"] = 5
+            with self.assertRaisesRegex(ValidationError, "RoW"):
+                validate_profile_records([json.dumps(rec)])
+
+        def test_profile_rejects_empty_input(self):
+            with self.assertRaises(ValidationError):
+                validate_profile_records(["", "  "])
+
+        def test_profile_rejects_bad_json(self):
+            with self.assertRaisesRegex(ValidationError, "bad JSON"):
+                validate_profile_records(["{nope"])
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(SelfTest)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cmd = argv[1]
+    try:
+        if cmd == "selftest":
+            return _selftest()
+        if cmd == "perf-schema":
+            min_entries = 1
+            rest = argv[3:]
+            if rest[:1] == ["--min-entries"]:
+                min_entries = int(rest[1])
+            with open(argv[2]) as f:
+                n = validate_perf_schema(json.load(f), min_entries)
+            print(f"perf schema ok: {n} history entries")
+            return 0
+        if cmd == "history-stability":
+            with open(argv[2]) as f:
+                n = validate_history_stability(json.load(f))
+            print(f"history stability ok: {n} same-build runs bit-stable")
+            return 0
+        if cmd == "profile-schema":
+            with open(argv[2]) as f:
+                n = validate_profile_records(f)
+            print(f"profile schema ok: {n} records")
+            return 0
+    except ValidationError as e:
+        print(f"ci_validate: {cmd}: {e}", file=sys.stderr)
+        return 1
+    except (OSError, IndexError) as e:
+        print(f"ci_validate: {cmd}: {e}", file=sys.stderr)
+        return 2
+    print(f"ci_validate: unknown subcommand '{cmd}'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Golden-state digest generator.
+ *
+ * Runs a small fixed suite of (workload, policy) pairs to a fixed quota
+ * and prints each System::stateDigest() as JSON on stdout:
+ *
+ *   {"format": 1, "entries": [
+ *     {"workload": "cq", "config": "eager", "cores": 4, "quota": 120,
+ *      "seed": 7, "digest": "<sha256 hex>"}, ...]}
+ *
+ * The digest covers only integer-valued architectural state, so the
+ * same source must produce the same digests on every compiler and
+ * platform. CI regenerates this suite under gcc and clang and compares
+ * both against the committed tests/golden/digests.json; any difference
+ * is a determinism regression (or an intentional behaviour change,
+ * which must regenerate the golden file in the same commit).
+ *
+ * Usage: state_digest [workload ...]   (default: the built-in suite)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+constexpr unsigned kCores = 4;
+constexpr std::uint64_t kQuota = 120;
+constexpr std::uint64_t kSeed = 7;
+
+/** Diverse golden subset: high-contention (cq, sps), mixed (tatp,
+ *  canneal) and low-contention (blackscholes) behaviour. */
+const std::vector<std::string> kSuiteWorkloads = {
+    "cq", "sps", "tatp", "canneal", "blackscholes",
+};
+
+const std::vector<std::string> kSuiteConfigs = {"eager", "lazy", "row"};
+
+/** Map a golden config key to its ExpConfig (mirrored by
+ *  tests/test_snapshot.cc:goldenConfig — keep the two in sync). */
+ExpConfig
+configByName(const std::string &name)
+{
+    if (name == "eager")
+        return eagerConfig();
+    if (name == "lazy")
+        return lazyConfig();
+    if (name == "row") {
+        return rowConfig(ContentionDetector::RWDir,
+                         PredictorUpdate::SaturateOnContention);
+    }
+    ROWSIM_FATAL("unknown golden config '%s' (valid: eager, lazy, row)",
+                 name.c_str());
+}
+
+std::string
+digestFor(const std::string &workload, const std::string &config)
+{
+    const SystemParams sp =
+        makeParams(configByName(config), kCores, kSeed);
+    System sys(sp, makeStreams(profileFor(workload), kCores, kSeed));
+    sys.run(kQuota);
+    return sys.stateDigest();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads(argv + 1, argv + argc);
+    if (workloads.empty())
+        workloads = kSuiteWorkloads;
+
+    std::printf("{\"format\": 1, \"entries\": [\n");
+    bool first = true;
+    for (const auto &w : workloads) {
+        for (const auto &cfg : kSuiteConfigs) {
+            std::printf("%s  {\"workload\": \"%s\", \"config\": \"%s\", "
+                        "\"cores\": %u, \"quota\": %llu, \"seed\": %llu, "
+                        "\"digest\": \"%s\"}",
+                        first ? "" : ",\n", w.c_str(), cfg.c_str(),
+                        kCores, static_cast<unsigned long long>(kQuota),
+                        static_cast<unsigned long long>(kSeed),
+                        digestFor(w, cfg).c_str());
+            first = false;
+        }
+    }
+    std::printf("\n]}\n");
+    return 0;
+}
