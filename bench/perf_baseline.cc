@@ -78,6 +78,10 @@ renderEntry(const std::vector<Sample> &samples)
     std::snprintf(buf, sizeof(buf), "      \"profile\": \"%s\",\n",
                   prof && *prof ? prof : "off");
     e += buf;
+    const char *spans = std::getenv("ROWSIM_SPANS");
+    std::snprintf(buf, sizeof(buf), "      \"spans\": \"%s\",\n",
+                  spans && *spans ? spans : "off");
+    e += buf;
     // Warmup-checkpoint mode (ROWSIM_CKPT): sim_cycles stays bit-stable
     // across modes by construction; wall_ms is expected to drop on
     // checkpoint-restored runs, and this field says which is which.

@@ -222,6 +222,13 @@ struct SystemParams
      *  Unlike the masks above this one is re-applied on every System
      *  construction, so sweep workers never inherit a stale mask. */
     std::string profileCategories;
+
+    // ---- span tracing (src/sim/span.hh) ----
+
+    /** Atomic lifetime span tracing: "on"/"off" (and 0/1/yes/no
+     *  synonyms; empty = the ROWSIM_SPANS env var, or off). Re-applied
+     *  on every System construction, like profileCategories. */
+    std::string spans;
 };
 
 } // namespace rowsim

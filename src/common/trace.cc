@@ -21,6 +21,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Network: return "network";
       case TraceCategory::Predictor: return "predictor";
       case TraceCategory::Queue: return "queue";
+      case TraceCategory::Span: return "span";
     }
     return "?";
 }
@@ -62,7 +63,7 @@ parseTraceCategories(const std::string &spec)
         if (!known)
             ROWSIM_FATAL("unknown trace category '%s' (valid: pipeline, "
                          "atomic, coherence, directory, network, "
-                         "predictor, queue, all, none)",
+                         "predictor, queue, span, all, none)",
                          tok.c_str());
     }
     return mask;
@@ -113,6 +114,40 @@ Trace::disableThisThread()
     ringMask_ = 0;
 }
 
+std::string
+suffixJobPath(const std::string &path, const std::string &key)
+{
+    if (key.empty())
+        return path;
+    // Insert before the last extension, but not before a dot that is
+    // part of a directory component ("out.d/trace").
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + "." + key;
+    }
+    return path.substr(0, dot) + "." + key + path.substr(dot);
+}
+
+void
+Trace::scopeToJob(const std::string &key)
+{
+    instance().closeAll();
+    sinkMask_ = 0;
+    ringMask_ = 0;
+    mask_ = 0;
+    jobKey_ = key;
+    envInitDone_ = false;
+    initFromEnv();
+}
+
+const std::string &
+Trace::jobKey()
+{
+    return jobKey_;
+}
+
 void
 Trace::initFromEnv()
 {
@@ -134,13 +169,15 @@ Trace::initFromEnv()
 
     if (const char *path = std::getenv("ROWSIM_TRACE_FILE");
         path && *path) {
-        std::FILE *f = std::fopen(path, "w");
+        const std::string p = suffixJobPath(path, jobKey_);
+        std::FILE *f = std::fopen(p.c_str(), "w");
         if (!f)
-            ROWSIM_FATAL("cannot open trace text file '%s'", path);
+            ROWSIM_FATAL("cannot open trace text file '%s'", p.c_str());
         t.setTextSink(f, true);
     }
     const char *json = std::getenv("ROWSIM_TRACE_JSON");
-    t.openJson(json && *json ? json : "rowsim.trace.json");
+    t.openJson(suffixJobPath(json && *json ? json : "rowsim.trace.json",
+                             jobKey_));
 }
 
 void
@@ -306,6 +343,24 @@ Trace::instant(TraceCategory cat, int pid, int tid, const char *name,
         jsonEscape(name).c_str(), traceCategoryName(cat),
         static_cast<unsigned long long>(ts), pid, tid,
         argsField(args_json).c_str()));
+}
+
+void
+Trace::flow(TraceCategory cat, int pid, int tid, const char *name,
+            std::uint64_t id, Cycle ts, char phase)
+{
+    if (!json_ || !(sinkMask_ & static_cast<std::uint32_t>(cat)))
+        return;
+    // Flow-finish binds to the enclosing slice ("bp":"e") so the arrow
+    // lands on the segment slice rather than needing a matching
+    // instant.
+    emitJson(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"id\":\"%llx\","
+        "\"ts\":%llu,\"pid\":%d,\"tid\":%d%s}",
+        jsonEscape(name).c_str(), traceCategoryName(cat), phase,
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(ts), pid, tid,
+        phase == 'f' ? ",\"bp\":\"e\"" : ""));
 }
 
 void

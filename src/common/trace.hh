@@ -43,9 +43,10 @@ enum class TraceCategory : std::uint32_t
     Network   = 1u << 4, ///< message inject / deliver
     Predictor = 1u << 5, ///< RoW predictions, outcomes, updates
     Queue     = 1u << 6, ///< LQ / SQ / AQ allocate + free
+    Span      = 1u << 7, ///< atomic lifetime spans (sim/span.hh)
 };
 
-constexpr std::uint32_t traceCategoryAll = (1u << 7) - 1;
+constexpr std::uint32_t traceCategoryAll = (1u << 8) - 1;
 
 const char *traceCategoryName(TraceCategory c);
 
@@ -65,6 +66,7 @@ constexpr int traceTidPipeline = 0;
 constexpr int traceTidAtomics = 1;
 constexpr int traceTidPredictor = 2;
 constexpr int traceTidCache = 3;
+constexpr int traceTidSpans = 4;
 
 class Trace
 {
@@ -98,6 +100,20 @@ class Trace
      * state is thread-local.
      */
     static void disableThisThread();
+
+    /**
+     * Scope this thread's trace sinks to one sweep job: close any open
+     * sinks, then re-run env initialisation with @p key as the job key,
+     * so ROWSIM_TRACE_FILE / ROWSIM_TRACE_JSON paths are suffixed (see
+     * suffixJobPath) and concurrent jobs never clobber or interleave
+     * one file. Sweep workers call this per job instead of
+     * disableThisThread().
+     */
+    static void scopeToJob(const std::string &key);
+
+    /** This thread's job key ("" outside a sweep job). Other per-job
+     *  sinks (ROWSIM_PROFILE_JSON, ROWSIM_SPANS_JSON) consult it. */
+    static const std::string &jobKey();
 
     /** Programmatic configuration of the *sink* categories (tests,
      *  SystemParams). The effective gate mask also includes the ring
@@ -163,6 +179,12 @@ class Trace
     void instant(TraceCategory cat, int pid, int tid, const char *name,
                  Cycle ts, const std::string &args_json = "");
 
+    /** Flow ("s"/"t"/"f") event: arrows between slices on different
+     *  tracks (e.g. a span's remote leg crossing core -> network).
+     *  @p phase is 's' (start), 't' (step) or 'f' (finish). */
+    void flow(TraceCategory cat, int pid, int tid, const char *name,
+              std::uint64_t id, Cycle ts, char phase);
+
     /** Counter ("C") event: one numeric series per (pid, name). */
     void counter(TraceCategory cat, int pid, const char *name, Cycle ts,
                  double value);
@@ -194,6 +216,8 @@ class Trace
     static inline thread_local Cycle now_ = 0;
     /** Per-thread "initFromEnv already ran" latch. */
     static inline thread_local bool envInitDone_ = false;
+    /** This thread's sweep job key ("" on the main thread). */
+    static inline thread_local std::string jobKey_;
 
     std::FILE *textSink_ = nullptr; ///< nullptr -> stderr
     bool ownTextSink_ = false;
@@ -209,6 +233,14 @@ class Trace
 
 /** Escape a string for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Suffix an output path with a sweep job key: the key is inserted
+ * before the last extension ("trace.json" + "j3" -> "trace.j3.json";
+ * extensionless paths get a plain suffix). An empty key returns the
+ * path unchanged.
+ */
+std::string suffixJobPath(const std::string &path, const std::string &key);
 
 /**
  * Trace-point macros. All of them compile to one branch on the category

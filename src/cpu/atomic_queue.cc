@@ -150,6 +150,9 @@ AtomicQueue::restore(Deser &d)
         e.readyCycle = d.u64();
         e.issueCycle = d.u64();
         e.lockCycle = d.u64();
+        // Span IDs are observability state, never serialized: a restored
+        // in-flight atomic is untraced (counted as spansTruncated).
+        e.spanId = 0;
     }
 }
 

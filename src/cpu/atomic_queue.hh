@@ -69,6 +69,10 @@ struct AqEntry
     Cycle issueCycle = invalidCycle;
     Cycle lockCycle = invalidCycle;
 
+    /** Lifetime span of this atomic (0 = untraced; src/sim/span.hh).
+     *  Observability-only: not serialized, 0 after a restore. */
+    std::uint64_t spanId = 0;
+
     Addr line() const { return addr == invalidAddr ? invalidAddr
                                                    : lineAlign(addr); }
 };

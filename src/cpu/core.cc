@@ -7,6 +7,7 @@
 #include "mem/memsystem.hh"
 #include "sim/checker.hh"
 #include "sim/snapshot.hh"
+#include "sim/span.hh"
 
 namespace rowsim
 {
@@ -193,6 +194,8 @@ Core::acquireLock(RobEntry &e, FillSource source, Cycle now)
     a.locked = true;
     a.lockCycle = now;
     a.lockSource = source;
+    if (SpanTracker::enabled() && spans_ && a.spanId)
+        spans_->transition(a.spanId, SpanSeg::LockHeld, now);
     if (Profiler::enabled(ProfCategory::Lines) && prof_)
         prof_->lineAcquire(a.line(), coreId);
     ROWSIM_TRACE(TraceCategory::Atomic, now,
@@ -263,11 +266,14 @@ Core::pokeWaitingLocks(Cycle now)
         } else {
             // The line was stolen while waiting its turn: refetch.
             e.astate = AState::MemIssued;
+            if (SpanTracker::enabled() && spans_ && a.spanId)
+                spans_->transition(a.spanId, SpanSeg::Execute, now);
             MemAccess m;
             m.addr = a.addr;
             m.token = token(e);
             m.needExclusive = true;
             m.isAtomic = true;
+            m.spanId = a.spanId;
             stats_.counter("lockWaitRefetches")++;
             cache->access(m, now);
         }
@@ -299,6 +305,8 @@ Core::atomicLineReady(std::uint64_t tok, Addr line, FillSource source,
         // line stays unlocked in M; we lock when our turn comes, or
         // refetch if it gets stolen meanwhile.
         e.astate = AState::WaitLock;
+        if (SpanTracker::enabled() && spans_ && a.spanId)
+            spans_->transition(a.spanId, SpanSeg::UnblockWait, now);
         stats_.counter("lockWaits")++;
         return;
     }
@@ -339,6 +347,8 @@ Core::tryForceUnlock(Addr line, Cycle now)
     e.issued = false;
     e.forwardedAtomic = false;
     e.lazySelected = true; // replay lazily: the line is contended
+    if (SpanTracker::enabled() && spans_ && a.spanId)
+        spans_->replay(a.spanId, now);
     e.astate = AState::WaitOperands;
     e.reissueReadyAt = invalidCycle;
     iqOccupancy++; // back into the issue queue for the replay
@@ -433,6 +443,10 @@ Core::commitAtomic(RobEntry &e, Cycle now)
     // everything atomicUnlock needs in the AQ entry.
     a.newValue = e.atomicNewValue;
     a.sqIdx = e.sqIdx;
+    if (SpanTracker::enabled() && spans_ && a.spanId) {
+        spans_->close(a.spanId, now);
+        a.spanId = 0; // post-commit unlock traffic is outside the span
+    }
     pendingUnlocks.emplace(now + 1, e.seq);
 }
 
@@ -678,6 +692,12 @@ Core::storeWritten(SeqNum store_seq, Addr addr, Cycle now)
             acquireLock(e, FillSource::Forwarded, now);
         } else {
             e.astate = AState::WaitLock;
+            if (SpanTracker::enabled() && spans_) {
+                AqEntry &a = aq.entry(static_cast<unsigned>(e.aqIdx));
+                if (a.spanId)
+                    spans_->transition(a.spanId, SpanSeg::UnblockWait,
+                                       now);
+            }
             stats_.counter("lockWaits")++;
         }
     }
@@ -817,6 +837,8 @@ Core::atomicExecute(RobEntry &e, Cycle now)
         e.astate = AState::WaitStore;
         e.waitStoreSeq = 0;
         e.reissueReadyAt = invalidCycle;
+        if (SpanTracker::enabled() && spans_ && a.spanId)
+            spans_->transition(a.spanId, SpanSeg::SbDrain, now);
         return false;
     }
     if (src && !src->written) {
@@ -838,6 +860,12 @@ Core::atomicExecute(RobEntry &e, Cycle now)
             stu.valueReady = true;
             e.astate = AState::ExecDoneFwd;
             e.issued = true;
+            if (SpanTracker::enabled() && spans_ && a.spanId) {
+                // Value consumed now; the remaining wait until the
+                // forwarding store writes is an SB-drain dependency.
+                spans_->setLine(a.spanId, a.line());
+                spans_->transition(a.spanId, SpanSeg::SbDrain, now);
+            }
             fwdLockWaiters.emplace(src->seq, e.seq);
             LqEntry &l = lq.entry(static_cast<unsigned>(e.lqIdx));
             l.issued = true;
@@ -857,6 +885,8 @@ Core::atomicExecute(RobEntry &e, Cycle now)
         e.astate = AState::WaitStore;
         e.waitStoreSeq = src->seq;
         e.reissueReadyAt = invalidCycle;
+        if (SpanTracker::enabled() && spans_ && a.spanId)
+            spans_->transition(a.spanId, SpanSeg::SbDrain, now);
         return false;
     }
     if (a.issueCycle == invalidCycle) {
@@ -880,11 +910,17 @@ Core::atomicExecute(RobEntry &e, Cycle now)
     l.issued = true;
     l.addr = a.addr;
 
+    if (SpanTracker::enabled() && spans_ && a.spanId) {
+        spans_->setLine(a.spanId, a.line());
+        spans_->transition(a.spanId, SpanSeg::Execute, now);
+    }
+
     MemAccess m;
     m.addr = a.addr;
     m.token = token(e);
     m.needExclusive = true;
     m.isAtomic = true;
+    m.spanId = a.spanId;
     cache->access(m, now);
     return true;
 }
@@ -932,11 +968,19 @@ Core::tryIssueAtomic(RobEntry &e, Cycle now)
             }
         }
         e.astate = AState::WaitLazy;
+        if (SpanTracker::enabled() && spans_ && a.spanId)
+            spans_->transition(a.spanId, SpanSeg::AqWait, now);
         return false;
     }
 
     if (e.astate == AState::WaitLazy) {
         if (!lazyConditionMet(e)) {
+            // Refine the wait: once the atomic is the oldest memory op,
+            // the remaining wait is purely the SB drain.
+            if (SpanTracker::enabled() && spans_ && a.spanId &&
+                lq.isOldest(e.seq)) {
+                spans_->transition(a.spanId, SpanSeg::SbDrain, now);
+            }
             e.reissueReadyAt = invalidCycle;
             return false;
         }
@@ -1250,6 +1294,10 @@ Core::dispatchStage(Cycle now)
             e.lazySelected = atomicSelectLazy(e.op);
             aq.entry(static_cast<unsigned>(e.aqIdx)).predictedContended =
                 e.lazySelected;
+            if (SpanTracker::enabled() && spans_) {
+                aq.entry(static_cast<unsigned>(e.aqIdx)).spanId =
+                    spans_->open(coreId, e.op.pc, e.lazySelected, now);
+            }
             if (params.atomicPolicy == AtomicPolicy::Fenced)
                 memBarriers.insert(seq);
             stats_.counter("atomicsDispatched")++;

@@ -48,6 +48,7 @@ namespace rowsim
 {
 
 class FunctionalMemory;
+class SpanTracker;
 
 class Core : public MemClient
 {
@@ -97,6 +98,8 @@ class Core : public MemClient
     ContentionPredictor &predictor() { return rowPredictor; }
     /** Attach the attribution profiler (System::setupProfiling). */
     void setProfiler(Profiler *p) { prof_ = p; }
+    /** Attach the span tracker (System::setupSpans). */
+    void setSpans(SpanTracker *s) { spans_ = s; }
     BranchPredictor &branchPredictor() { return branchPred; }
     StoreSet &storeSets() { return storeSet; }
     const AtomicQueue &atomicQueue() const { return aq; }
@@ -282,6 +285,7 @@ class Core : public MemClient
     std::uint64_t iterations = 0;
 
     Profiler *prof_ = nullptr;
+    SpanTracker *spans_ = nullptr;
 
     StatGroup stats_;
 };

@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "sim/snapshot.hh"
+#include "sim/span.hh"
 
 namespace rowsim
 {
@@ -29,7 +30,7 @@ Directory::Directory(unsigned bank_index, unsigned num_cores,
 void
 Directory::sendToCore(MsgType t, Addr line, CoreId core, CoreId requester,
                       Cycle now, bool excl, bool from_memory,
-                      bool contention_hint)
+                      bool contention_hint, std::uint64_t span_id)
 {
     Msg m;
     m.type = t;
@@ -41,6 +42,7 @@ Directory::sendToCore(MsgType t, Addr line, CoreId core, CoreId requester,
     m.fromMemory = from_memory;
     m.contentionHint = contention_hint;
     m.fromPrivateCache = false;
+    m.spanId = span_id;
     net->send(m, now);
 }
 
@@ -103,6 +105,7 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
             e.dataMsg.excl = false;
             e.dataMsg.fromMemory = from_mem;
             e.dataMsg.contentionHint = hint;
+            e.dataMsg.spanId = msg.spanId;
             e.dataPending = true;
             e.dataReady = now + lat;
             e.pendingAcks = 0;
@@ -111,7 +114,7 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
                 oracle(line, req, e.owner, false, now);
             stats_.counter("fwdGetS")++;
             sendToCore(MsgType::FwdGetS, line, e.owner, req, now, false,
-                       false, hint);
+                       false, hint, msg.spanId);
             e.nextState = DirState::Shared;
             e.nextSharers = coreBit(e.owner) | coreBit(req);
             e.nextOwner = invalidCore;
@@ -133,7 +136,7 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
             if (Profiler::enabled(ProfCategory::Lines) && prof_)
                 prof_->lineOwnerSwap(line);
             sendToCore(MsgType::FwdGetX, line, e.owner, req, now, false,
-                       false, hint);
+                       false, hint, msg.spanId);
             e.nextState = DirState::Modified;
             e.nextOwner = req;
             e.nextSharers = 0;
@@ -147,7 +150,8 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
                     if (c != req && (e.sharers & coreBit(c))) {
                         if (oracle)
                             oracle(line, req, c, false, now);
-                        sendToCore(MsgType::Inv, line, c, req, now);
+                        sendToCore(MsgType::Inv, line, c, req, now, false,
+                                   false, false, msg.spanId);
                         acks++;
                     }
                 }
@@ -164,6 +168,7 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
             e.dataMsg.excl = true;
             e.dataMsg.fromMemory = from_mem;
             e.dataMsg.contentionHint = hint || acks > 0;
+            e.dataMsg.spanId = msg.spanId;
             e.dataPending = true;
             e.dataReady = now + lat;
             e.pendingAcks = acks;
@@ -177,6 +182,7 @@ Directory::processRequest(Entry &e, const Msg &msg, Cycle now,
 
     e.state = DirState::Blocked;
     e.txnRequester = req;
+    e.txnSpanId = msg.spanId;
     e.blockedSince = now;
     blockedLines++;
     ROWSIM_TRACE(TraceCategory::Directory, now,
@@ -193,6 +199,10 @@ Directory::finishTxn(Entry &e, Addr line, Cycle now)
                   "Unblock on unblocked line %#lx",
                   static_cast<unsigned long>(line));
     if (e.blockedSince != invalidCycle) {
+        // The transaction's own Blocked residency, attributed causally
+        // to the requesting atomic's span.
+        if (SpanTracker::enabled() && spans_ && e.txnSpanId)
+            spans_->dirBlockedWindow(e.txnSpanId, e.blockedSince, now);
         // Async span: several lines can be Blocked at one bank at once.
         ROWSIM_TRACE_SPAN(
             TraceCategory::Directory,
@@ -212,12 +222,15 @@ Directory::finishTxn(Entry &e, Addr line, Cycle now)
     e.owner = e.nextOwner;
     e.sharers = e.nextSharers;
     e.txnRequester = invalidCore;
+    e.txnSpanId = 0;
     ROWSIM_ASSERT(blockedLines > 0, "blockedLines underflow");
     blockedLines--;
 
     while (!e.queued.empty() && e.state != DirState::Blocked) {
         Msg next = e.queued.front();
         e.queued.pop_front();
+        if (SpanTracker::enabled() && spans_ && next.spanId)
+            spans_->dirDequeued(next.spanId, now);
         if (next.type == MsgType::PutM) {
             // Crossed eviction: handle with the now-current state.
             deliver(next, now);
@@ -256,6 +269,8 @@ Directory::deliver(const Msg &msg, Cycle now)
             if (e.dataPending)
                 e.dataMsg.contentionHint = true;
             e.queued.push_back(msg);
+            if (SpanTracker::enabled() && spans_ && msg.spanId)
+                spans_->dirQueued(msg.spanId, now);
             stats_.counter("queuedRequests")++;
             stats_.average("queueDepth").sample(
                 static_cast<double>(e.queued.size()));

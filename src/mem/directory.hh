@@ -28,6 +28,8 @@
 namespace rowsim
 {
 
+class SpanTracker;
+
 /**
  * Directory bank. Network endpoint NodeId == numCores + bankIndex.
  */
@@ -64,6 +66,8 @@ class Directory : public MsgHandler
     void setOracleHook(OracleHook hook) { oracle = std::move(hook); }
     /** Attach the attribution profiler (System::setupProfiling). */
     void setProfiler(Profiler *p) { prof_ = p; }
+    /** Attach the span tracker (System::setupSpans). */
+    void setSpans(SpanTracker *s) { spans_ = s; }
 
     /** Directory state probe for tests. */
     DirState lineState(Addr line) const;
@@ -152,6 +156,9 @@ class Directory : public MsgHandler
         Msg dataMsg;
         /** Cycle the entry entered Blocked (trace Blocked windows). */
         Cycle blockedSince = invalidCycle;
+        /** Span of the in-flight transaction (0 = untraced; not
+         *  serialized — restored transactions are untraced). */
+        std::uint64_t txnSpanId = 0;
 
         std::deque<Msg> queued;
     };
@@ -171,7 +178,7 @@ class Directory : public MsgHandler
     void
     sendToCore(MsgType t, Addr line, CoreId core, CoreId requester,
                Cycle now, bool excl = false, bool from_memory = false,
-               bool contention_hint = false);
+               bool contention_hint = false, std::uint64_t span_id = 0);
 
     unsigned bankIndex;
     unsigned numCores;
@@ -191,6 +198,7 @@ class Directory : public MsgHandler
     unsigned blockedLines = 0;
 
     Profiler *prof_ = nullptr;
+    SpanTracker *spans_ = nullptr;
 
     StatGroup stats_;
 };

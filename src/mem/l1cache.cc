@@ -7,6 +7,7 @@
 #include "common/trace.hh"
 #include "mem/memsystem.hh"
 #include "sim/snapshot.hh"
+#include "sim/span.hh"
 
 namespace rowsim
 {
@@ -21,7 +22,7 @@ PrivateCache::PrivateCache(CoreId core, const MemParams &p, Network *network,
 
 void
 PrivateCache::sendRequest(Addr line, bool exclusive, bool prefetch,
-                          Cycle now)
+                          std::uint64_t span_id, Cycle now)
 {
     Msg m;
     m.type = exclusive ? MsgType::GetX : MsgType::GetS;
@@ -29,6 +30,7 @@ PrivateCache::sendRequest(Addr line, bool exclusive, bool prefetch,
     m.src = coreId;
     m.dst = net->homeBank(line);
     m.requester = coreId;
+    m.spanId = span_id;
     net->send(m, now);
     stats_.counter(prefetch ? "prefetchRequests" : "demandRequests")++;
 }
@@ -112,6 +114,11 @@ PrivateCache::access(const MemAccess &a, Cycle now)
                  "l1d%u miss line=%#llx excl=%d atomic=%d", coreId,
                  static_cast<unsigned long long>(line),
                  a.needExclusive ? 1 : 0, a.isAtomic ? 1 : 0);
+    // The atomic's span leaves execute here; whether the request goes
+    // out now, coalesces, or waits for a free MSHR, it is in the memory
+    // system either way (idempotent on drainPending re-entry).
+    if (SpanTracker::enabled() && spans_ && a.spanId)
+        spans_->transition(a.spanId, SpanSeg::L1Miss, now);
     MshrWaiter w;
     w.token = a.token;
     w.requestCycle = now;
@@ -120,6 +127,7 @@ PrivateCache::access(const MemAccess &a, Cycle now)
     w.isWrite = a.isWrite;
     w.writeValue = a.writeValue;
     w.addr = a.addr;
+    w.spanId = a.spanId;
 
     auto it = mshrs.find(line);
     if (it != mshrs.end()) {
@@ -141,7 +149,7 @@ PrivateCache::access(const MemAccess &a, Cycle now)
     m.netIssueCycle = now;
     m.waiters.push_back(w);
     mshrs.emplace(line, std::move(m));
-    sendRequest(line, a.needExclusive, false, now);
+    sendRequest(line, a.needExclusive, false, a.spanId, now);
 
     if (params.prefetcher && !a.isWrite && !a.isAtomic)
         maybePrefetch(line, now);
@@ -161,7 +169,7 @@ PrivateCache::maybePrefetch(Addr line, Cycle now)
     m.prefetchOnly = true;
     m.netIssueCycle = now;
     mshrs.emplace(next, std::move(m));
-    sendRequest(next, false, true, now);
+    sendRequest(next, false, true, 0, now);
 }
 
 void
@@ -235,6 +243,7 @@ PrivateCache::handleFill(const Msg &msg, Cycle now)
     unb.src = coreId;
     unb.dst = net->homeBank(line);
     unb.requester = coreId;
+    unb.spanId = msg.spanId;
     net->send(unb, now);
 
     FillSource src = FillSource::LLCHit;
@@ -276,7 +285,14 @@ PrivateCache::handleFill(const Msg &msg, Cycle now)
         m.waiters = std::move(still_waiting);
         m.exclusiveRequested = true;
         m.netIssueCycle = now;
-        sendRequest(line, true, false, now);
+        std::uint64_t sid = 0;
+        for (const MshrWaiter &uw : m.waiters) {
+            if (uw.spanId) {
+                sid = uw.spanId;
+                break;
+            }
+        }
+        sendRequest(line, true, false, sid, now);
         return;
     }
 
@@ -298,6 +314,7 @@ PrivateCache::applyExternal(const Msg &msg, Cycle now)
         ack.src = coreId;
         ack.dst = msg.src;
         ack.requester = msg.requester;
+        ack.spanId = msg.spanId;
         net->send(ack, now);
         stats_.counter("invalidations")++;
         break;
@@ -339,6 +356,7 @@ PrivateCache::applyExternal(const Msg &msg, Cycle now)
         data.excl = excl;
         data.contentionHint = msg.contentionHint; // dir-notify extension
         data.fromPrivateCache = true;
+        data.spanId = msg.spanId;
         net->send(data, now);
         stats_.counter("ownerForwards")++;
         break;
@@ -399,6 +417,10 @@ PrivateCache::unlockNotify(Addr line, Cycle now)
                 static_cast<double>(now - m.sent));
             if (Profiler::enabled(ProfCategory::Lines) && prof_)
                 prof_->lineLockStall(line, now - m.sent);
+            // The victim span (the remote requester this Fwd/Inv serves)
+            // spent [arrival, now] against our AQ lock.
+            if (SpanTracker::enabled() && spans_ && m.spanId)
+                spans_->lockStall(m.spanId, arrival, now);
             ROWSIM_TRACE_COMPLETE(
                 TraceCategory::Coherence, static_cast<int>(coreId),
                 traceTidCache, "lockStall", arrival, now,
@@ -453,6 +475,8 @@ PrivateCache::tick(Cycle now)
                 stats_.counter("lockSteals")++;
                 if (Profiler::enabled(ProfCategory::Lines) && prof_)
                     prof_->lineSteal(m.line);
+                if (SpanTracker::enabled() && spans_ && m.spanId)
+                    spans_->lockStall(m.spanId, arrival, now);
                 ROWSIM_TRACE(TraceCategory::Coherence, now,
                              "l1d%u lock steal line=%#llx after %llu "
                              "stalled cycles (requester core%u)",
@@ -734,6 +758,7 @@ PrivateCache::restore(Deser &d)
             w.isWrite = d.b();
             w.writeValue = d.u64();
             w.addr = d.u64();
+            w.spanId = 0; // spans never survive a restore
         }
     }
 

@@ -32,6 +32,7 @@ namespace rowsim
 {
 
 class FunctionalMemory;
+class SpanTracker;
 
 /** A memory access issued by the core to its private cache unit. */
 struct MemAccess
@@ -42,6 +43,8 @@ struct MemAccess
     bool isAtomic = false;       ///< lock the line on arrival
     bool isWrite = false;        ///< store write (performed functionally)
     std::uint64_t writeValue = 0;
+    /** Atomic lifetime span (0 = untraced; src/sim/span.hh). */
+    std::uint64_t spanId = 0;
 };
 
 /** Completion record for loads and store writes. */
@@ -114,6 +117,8 @@ class PrivateCache : public MsgHandler
     void setClient(MemClient *c) { client = c; }
     /** Attach the attribution profiler (System::setupProfiling). */
     void setProfiler(Profiler *p) { prof_ = p; }
+    /** Attach the span tracker (System::setupSpans). */
+    void setSpans(SpanTracker *s) { spans_ = s; }
 
     /** Issue an access. Hits complete after the L1/L2 latency; misses
      *  allocate an MSHR and go to the directory. */
@@ -231,7 +236,8 @@ class PrivateCache : public MsgHandler
     /** Apply an external request that is (no longer) blocked by a lock. */
     void applyExternal(const Msg &msg, Cycle now);
     /** Send a request to the home bank, allocating the MSHR. */
-    void sendRequest(Addr line, bool exclusive, bool prefetch, Cycle now);
+    void sendRequest(Addr line, bool exclusive, bool prefetch,
+                     std::uint64_t span_id, Cycle now);
     /** Complete a hit / fill for one waiter. */
     void completeWaiter(const MshrWaiter &w, FillSource src,
                         Cycle fill_cycle, Cycle net_issue,
@@ -267,6 +273,7 @@ class PrivateCache : public MsgHandler
     std::multimap<Cycle, MemResult> dueResults;
 
     Profiler *prof_ = nullptr;
+    SpanTracker *spans_ = nullptr;
 
     StatGroup stats_;
 };

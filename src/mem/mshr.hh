@@ -24,6 +24,9 @@ struct MshrWaiter
     bool isWrite = false;
     std::uint64_t writeValue = 0;
     Addr addr = invalidAddr;   ///< full (not line-aligned) address
+    /** Atomic lifetime span of the waiting access (0 = untraced;
+     *  observability-only, not serialized). */
+    std::uint64_t spanId = 0;
 };
 
 /** An outstanding miss: one per line with a request in the network. */

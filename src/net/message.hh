@@ -73,6 +73,10 @@ struct Msg
     bool contentionHint = false;
     /** Cycle the message entered the network (latency accounting). */
     Cycle sent = 0;
+    /** Atomic lifetime span this message serves (0 = untraced; see
+     *  src/sim/span.hh). Observability-only: never serialized, and
+     *  restored messages always carry 0. */
+    std::uint64_t spanId = 0;
 
     std::string toString() const;
 };

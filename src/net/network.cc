@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "sim/snapshot.hh"
+#include "sim/span.hh"
 
 namespace rowsim
 {
@@ -47,6 +48,9 @@ Network::Network(unsigned num_cores, const NetParams &p)
     // mesh holds numCores tiles.
     meshX = static_cast<unsigned>(std::ceil(std::sqrt(num_cores)));
     meshY = (num_cores + meshX - 1) / meshX;
+
+    latHist_.assign(static_cast<std::size_t>(MsgType::Unblock) + 1,
+                    nullptr);
 
     // Precompute the per-pair hop/latency tables and the point-to-point
     // ordering fences once; the hot send() path then indexes flat arrays
@@ -142,6 +146,20 @@ Network::send(Msg msg, Cycle now)
                  static_cast<unsigned long long>(due));
 }
 
+Histogram &
+Network::typeLatencyHist(MsgType t)
+{
+    // Lazily created per type (deterministic: the message stream decides
+    // which types exist) and cached by index — the hot delivery loop
+    // must not pay a map lookup per message.
+    Histogram *&h = latHist_[static_cast<std::size_t>(t)];
+    if (!h) {
+        h = &stats_.histogram(std::string("lat") + msgTypeName(t), 0, 128,
+                              64);
+    }
+    return *h;
+}
+
 void
 Network::tick(Cycle now)
 {
@@ -165,6 +183,10 @@ Network::tick(Cycle now)
                                         p.msg.line),
                                     p.msg.src, p.msg.dst));
         stats_.counter("delivered")++;
+        const Cycle lat = now >= p.msg.sent ? now - p.msg.sent : 0;
+        typeLatencyHist(p.msg.type).sample(static_cast<double>(lat));
+        if (SpanTracker::enabled() && spans_ && p.msg.spanId)
+            spans_->netHop(p.msg.spanId, p.msg.sent, now);
         h->deliver(p.msg, now);
     }
 }
@@ -252,6 +274,10 @@ Network::restore(Deser &d)
     for (Cycle &c : lastDelivery)
         c = d.u64();
     nextOrder = d.u64();
+
+    // The stats pass replaces the StatGroup's histogram storage; drop
+    // the cached pointers so they re-resolve against the restored set.
+    std::fill(latHist_.begin(), latHist_.end(), nullptr);
 }
 
 } // namespace rowsim

@@ -26,6 +26,7 @@ namespace rowsim
 
 class Ser;
 class Deser;
+class SpanTracker;
 
 /**
  * The on-chip network. Endpoints register themselves by NodeId; send()
@@ -66,6 +67,10 @@ class Network
      */
     using DelayHook = std::function<Cycle(const Msg &msg, Cycle now)>;
     void setDelayHook(DelayHook hook) { delayHook = std::move(hook); }
+
+    /** Attach the span tracker (System::setupSpans): messages carrying
+     *  a span ID report their delivery latency as a remote leg. */
+    void setSpans(SpanTracker *s) { spans_ = s; }
 
     /** Crash diagnostics: one JSON object listing in-flight messages. */
     void dumpDiag(std::FILE *out, Cycle now) const;
@@ -123,6 +128,14 @@ class Network
     std::vector<unsigned> pairHops;
     std::uint64_t nextOrder = 0;
     DelayHook delayHook;
+    SpanTracker *spans_ = nullptr;
+
+    /** Per-message-type delivery-latency histograms, cached by MsgType
+     *  index. The pointers alias StatGroup storage, which restore()
+     *  replaces wholesale, so restore() re-zeroes this cache. */
+    std::vector<Histogram *> latHist_;
+
+    Histogram &typeLatencyHist(MsgType t);
 
     StatGroup stats_;
 };

@@ -3,10 +3,12 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <mutex>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "sim/profiles.hh"
 #include "sim/snapshot.hh"
 #include "sim/system.hh"
@@ -18,7 +20,7 @@ namespace rowsim
 std::string
 RunResult::toJson() const
 {
-    return strprintf(
+    std::string j = strprintf(
         "{\"workload\":\"%s\",\"config\":\"%s\",\"cycles\":%llu,"
         "\"instructions\":%llu,\"atomicsCommitted\":%llu,"
         "\"atomicsPer10k\":%.4f,\"atomicsUnlocked\":%llu,"
@@ -34,7 +36,7 @@ RunResult::toJson() const
         "\"lockToUnlockP99\":%.4f,\"olderUnexecuted\":%.4f,"
         "\"youngerStarted\":%.4f,\"predAccuracy\":%.4f,"
         "\"atomicsForwarded\":%llu,\"atomicsPromoted\":%llu,"
-        "\"forcedUnlocks\":%llu,\"eagerIssued\":%llu,\"lazyIssued\":%llu}",
+        "\"forcedUnlocks\":%llu,\"eagerIssued\":%llu,\"lazyIssued\":%llu",
         workload.c_str(), config.c_str(),
         static_cast<unsigned long long>(cycles),
         static_cast<unsigned long long>(instructions),
@@ -52,6 +54,10 @@ RunResult::toJson() const
         static_cast<unsigned long long>(forcedUnlocks),
         static_cast<unsigned long long>(eagerIssued),
         static_cast<unsigned long long>(lazyIssued));
+    if (!spanJson.empty())
+        j += ",\"spans\":" + spanJson;
+    j += "}";
+    return j;
 }
 
 void
@@ -173,6 +179,7 @@ makeParams(const ExpConfig &cfg, unsigned num_cores, std::uint64_t seed)
     sp.core.row.predictorEntries = cfg.predictorEntries;
     sp.core.row.localityPromotion = cfg.localityPromotion;
     sp.profileCategories = cfg.profile;
+    sp.spans = cfg.spans;
     return sp;
 }
 
@@ -230,6 +237,32 @@ writeProfileRecord(const RunResult &r, const std::string &path)
     std::FILE *f = std::fopen(path.c_str(), "a");
     if (!f) {
         ROWSIM_WARN("cannot open profile JSON file '%s'", path.c_str());
+        return;
+    }
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+}
+
+/** Append a span-traced run's record as one JSON line to @p path
+ *  ("-" = stdout) — the input format of tools/span_report. */
+void
+writeSpanRecord(const RunResult &r, const std::string &path)
+{
+    static std::mutex spanMutex;
+    std::lock_guard<std::mutex> lock(spanMutex);
+
+    const std::string line = strprintf(
+        "{\"workload\":\"%s\",\"config\":\"%s\",\"cycles\":%llu,"
+        "\"spans\":%s}",
+        r.workload.c_str(), r.config.c_str(),
+        static_cast<unsigned long long>(r.cycles), r.spanJson.c_str());
+    if (path == "-") {
+        std::fprintf(stdout, "%s\n", line.c_str());
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        ROWSIM_WARN("cannot open span JSON file '%s'", path.c_str());
         return;
     }
     std::fprintf(f, "%s\n", line.c_str());
@@ -423,6 +456,8 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
 
     if (const Profiler *prof = sys.profiler(); prof && prof->active())
         r.profileJson = prof->toJson();
+    if (const SpanTracker *sp = sys.spans(); sp && sp->active())
+        r.spanJson = sp->toJson();
 
     // ROWSIM_REPORT=<path>: append a one-line JSON report per run (any
     // bench or test), "-" for stdout. Lets figure scripts collect every
@@ -433,10 +468,23 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     }
     // ROWSIM_PROFILE_JSON=<path>: append one profiler record per
     // profiled run ({"workload","config","cycles","profile"}), "-" for
-    // stdout — the input format of tools/profile_report.
+    // stdout — the input format of tools/profile_report. Inside a sweep
+    // worker the path carries the job key (like the trace sinks), so
+    // concurrent jobs never interleave one file.
     if (const char *pj = std::getenv("ROWSIM_PROFILE_JSON");
         pj && *pj && !r.profileJson.empty()) {
-        writeProfileRecord(r, pj);
+        writeProfileRecord(r, std::strcmp(pj, "-") == 0
+                                  ? std::string("-")
+                                  : suffixJobPath(pj, Trace::jobKey()));
+    }
+    // ROWSIM_SPANS_JSON=<path>: append one span record per span-traced
+    // run ({"workload","config","cycles","spans"}), "-" for stdout —
+    // the input format of tools/span_report.
+    if (const char *sj = std::getenv("ROWSIM_SPANS_JSON");
+        sj && *sj && !r.spanJson.empty()) {
+        writeSpanRecord(r, std::strcmp(sj, "-") == 0
+                                ? std::string("-")
+                                : suffixJobPath(sj, Trace::jobKey()));
     }
     // ROWSIM_STATS_JSON=<path>: the full stats tree (every group's
     // counters/averages/formulas + interval series) of the most recent

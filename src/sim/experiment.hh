@@ -32,6 +32,9 @@ struct ExpConfig
     /** Profiler categories for this run ("cpi,lines,row,pcs,check" /
      *  "all"); empty defers to the ROWSIM_PROFILE environment. */
     std::string profile;
+    /** Span tracing for this run ("on"/"off" and synonyms); empty
+     *  defers to the ROWSIM_SPANS environment. */
+    std::string spans;
 };
 
 /** Everything a figure could want from one run. */
@@ -90,8 +93,13 @@ struct RunResult
      *  profiled (ROWSIM_PROFILE / ExpConfig::profile); empty otherwise. */
     std::string profileJson;
 
-    /** One-line JSON object with every field above except statsJson
-     *  (run reports). */
+    /** SpanTracker::toJson() of the run, captured whenever span tracing
+     *  was on (ROWSIM_SPANS / ExpConfig::spans); empty otherwise. */
+    std::string spanJson;
+
+    /** One-line JSON object with every field above except statsJson and
+     *  profileJson (run reports); spanJson rides along as "spans" when
+     *  the run traced spans. */
     std::string toJson() const;
 };
 

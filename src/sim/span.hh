@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Causal span tracing for atomic lifetimes.
+ *
+ * Every atomic RMW opens a *span* at dispatch and closes it at commit.
+ * Between those two points the span is always in exactly one *segment*
+ * (dispatchWait, sbDrain, aqWait, execute, l1Miss, unblockWait,
+ * lockHeld): the core, cache and directory report phase transitions and
+ * the tracker charges the elapsed cycles to the segment being left.
+ * Because segments are recorded as transitions of one cursor, they tile
+ * dispatch→commit *by construction*, and close() asserts the
+ * conservation invariant (Σ segments == commit − dispatch) so any
+ * missed or reordered transition panics instead of skewing data.
+ *
+ * On top of the tiling segments, three *overlapping legs* attribute the
+ * remote portion of a miss causally: the span ID travels on coherence
+ * messages (Msg::spanId), so
+ *
+ *  - netHops  — Σ per-message network latency of every hop of the
+ *               span's transaction (request, forward, data, acks),
+ *  - dirBlocked — directory residency charged to the span: its own
+ *               transaction's Blocked window plus any wait in a bank's
+ *               queue behind another transaction's Blocked window,
+ *  - lockStall — cycles the span's request spent stalled at a remote
+ *               core against an AQ-locked line
+ *
+ * are accumulated per span. They overlap the l1Miss segment (and each
+ * other), so they are *not* part of the conservation sum; critical-path
+ * extraction subtracts them from the miss window instead (the
+ * "critical" object on every retained record; rendered by
+ * tools/span_report).
+ *
+ * Modelled on the attribution profiler (src/sim/profile.hh): state is
+ * per-System, the enable gate is a static thread-local flag that
+ * System::setupSpans() unconditionally re-applies per construction
+ * (ROWSIM_SPANS env, overridden by SystemParams::spans), so parallel
+ * sweep jobs never leak the gate across worker threads. Aggregates
+ * (per-PC / per-line segment breakdowns, whole-run segment histograms
+ * with p50/p90/p99) cover *every* span; full per-span records are
+ * bounded by the ROWSIM_SPANS_TOPK retention policy (the K slowest
+ * spans are kept, default 64), so fig-scale sweeps stay cheap.
+ *
+ * Snapshot interaction: span state is never serialized and every
+ * restored structure carries spanId = 0. Restoring a checkpoint drops
+ * the tracker's open spans and counts atomics in flight inside the
+ * image under `truncated` — their lifetime crossed the restore point
+ * and cannot be attributed — so a restored run never observes a
+ * dangling span ID.
+ */
+
+#ifndef ROWSIM_SIM_SPAN_HH
+#define ROWSIM_SIM_SPAN_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rowsim
+{
+
+/** The tiling segments of an atomic's dispatch→commit lifetime. */
+enum class SpanSeg : unsigned
+{
+    DispatchWait = 0, ///< dispatched, waiting for operands / first issue
+    SbDrain,          ///< waiting on store-buffer drain / an older store
+    AqWait,           ///< lazy wait to become the oldest memory op (and
+                      ///< replay wait after a lock steal)
+    Execute,          ///< memory access issued; line present path
+    L1Miss,           ///< miss outstanding (GetX in the memory system)
+    UnblockWait,      ///< line filled, but an older atomic must lock first
+    LockHeld,         ///< line locked until commit
+    NumSegs,
+};
+
+constexpr unsigned numSpanSegs = static_cast<unsigned>(SpanSeg::NumSegs);
+
+const char *spanSegName(SpanSeg s);
+
+/** Parse a span-tracing spec ("on"/"off" and synonyms); fatal on
+ *  anything else. */
+bool parseSpanSpec(const std::string &spec);
+
+/**
+ * The per-System span tracker. All state lives in the instance; only
+ * the enable gate is static and thread-local so the hook sites cost one
+ * branch with no instance lookup when spans are off.
+ */
+class SpanTracker
+{
+  public:
+    explicit SpanTracker(unsigned num_cores);
+
+    /** Fast inline gate for every hook site. */
+    static bool enabled() { return enabled_; }
+    /** Programmatic gate control (System::setupSpans, tests). */
+    static void configure(bool on) { enabled_ = on; }
+    /** ROWSIM_SPANS gate ("" / "0" off, anything else on); parsed once
+     *  per process. */
+    static bool envEnabled();
+
+    /** Retained-record bound: ROWSIM_SPANS_TOPK (default 64). */
+    static std::uint64_t topK();
+    /** Top-K override hook (tests); 0 restores the env/default value. */
+    static void setTopK(std::uint64_t k) { topKOverride_ = k; }
+
+    /** Gate captured at construction: did this instance collect? */
+    bool active() const { return active_; }
+    unsigned numCores() const { return numCores_; }
+
+    /** One traced atomic lifetime. */
+    struct Record
+    {
+        std::uint64_t id = 0;
+        CoreId core = invalidCore;
+        Addr pc = 0;
+        Addr line = invalidAddr;
+        Cycle dispatch = invalidCycle;
+        Cycle commit = invalidCycle;
+        bool lazy = false;     ///< eager/lazy decision at dispatch
+        unsigned replays = 0;  ///< lock steals suffered
+        std::uint64_t segs[numSpanSegs] = {};
+        // Overlapping legs (inside the l1Miss window; not in the tiling
+        // sum).
+        std::uint64_t netCycles = 0;   ///< Σ per-message network latency
+        std::uint64_t netHops = 0;     ///< messages attributed
+        std::uint64_t dirBlocked = 0;  ///< own Blocked window + queue wait
+        std::uint64_t lockStall = 0;   ///< stalled against a remote lock
+
+        std::uint64_t total() const { return commit - dispatch; }
+
+        // Live-tracking cursor (meaningless once closed).
+        SpanSeg cur = SpanSeg::DispatchWait;
+        Cycle segStart = invalidCycle;
+    };
+
+    // ---- lifecycle (core-side hooks) ----
+
+    /** Open a span at dispatch. @return the span ID (never 0). */
+    std::uint64_t open(CoreId core, Addr pc, bool lazy, Cycle now);
+    /** Move the span into @p seg, charging [segStart, now) to the
+     *  segment being left. Idempotent for seg == current segment. */
+    void transition(std::uint64_t id, SpanSeg seg, Cycle now);
+    /** Record the effective line address once computed. */
+    void setLine(std::uint64_t id, Addr line);
+    /** A lock steal forced a replay (decision may flip to lazy). */
+    void replay(std::uint64_t id, Cycle now);
+    /** Close the span at commit; asserts segment conservation, feeds
+     *  the aggregates and the bounded retention heap, and emits the
+     *  Chrome-trace events when the "span" trace category is live. */
+    void close(std::uint64_t id, Cycle commit);
+
+    // ---- overlapping legs (cache / directory / network hooks) ----
+
+    /** A message carrying this span delivered after @p sent→@p now. */
+    void netHop(std::uint64_t id, Cycle sent, Cycle now);
+    /** The span's own directory transaction left Blocked. */
+    void dirBlockedWindow(std::uint64_t id, Cycle since, Cycle now);
+    /** The span's request was queued behind a Blocked line. */
+    void dirQueued(std::uint64_t id, Cycle now);
+    /** ... and is being processed now. */
+    void dirDequeued(std::uint64_t id, Cycle now);
+    /** The span's request sat stalled against a remote AQ lock. */
+    void lockStall(std::uint64_t id, Cycle arrival, Cycle now);
+
+    // ---- snapshot interaction ----
+
+    /** Drop every open span (restore crossed their lifetime); adds the
+     *  count to `truncated`. */
+    void truncateOpen();
+    /** Count @p n in-flight atomics restored from a checkpoint image
+     *  as truncated (their spans cannot be reconstructed). */
+    void noteTruncated(std::uint64_t n) { truncated_ += n; }
+    std::uint64_t truncated() const { return truncated_; }
+
+    // ---- results ----
+
+    std::uint64_t opened() const { return nextId_ - 1; }
+    std::uint64_t closed() const { return closedCount_; }
+    std::uint64_t openCount() const
+    {
+        return static_cast<std::uint64_t>(open_.size());
+    }
+
+    /** The retained (top-K slowest) records, slowest first. */
+    std::vector<Record> retained() const;
+
+    /** Per-PC / per-line aggregate of every closed span. */
+    struct Agg
+    {
+        std::uint64_t count = 0;
+        std::uint64_t total = 0;
+        std::uint64_t segs[numSpanSegs] = {};
+        std::uint64_t netCycles = 0;
+        std::uint64_t dirBlocked = 0;
+        std::uint64_t lockStall = 0;
+        std::uint64_t lazy = 0;
+        std::uint64_t replays = 0;
+    };
+
+    const std::unordered_map<Addr, Agg> &pcs() const { return pcs_; }
+    const std::unordered_map<Addr, Agg> &lines() const { return lines_; }
+
+    /** Whole-run total-latency histogram (p50/p90/p99 source). */
+    const Histogram &totalHist() const { return totalHist_; }
+
+    /** Single-line JSON: counts, per-segment sums + percentiles, per-PC
+     *  and per-line breakdowns, and the retained span records with
+     *  their critical-path decomposition. */
+    std::string toJson() const;
+
+  private:
+    void aggregate(const Record &r);
+    void retain(const Record &r);
+
+    unsigned numCores_;
+    bool active_;
+
+    std::uint64_t nextId_ = 1;
+    std::uint64_t closedCount_ = 0;
+    std::uint64_t truncated_ = 0;
+
+    std::unordered_map<std::uint64_t, Record> open_;
+    /** Requests queued at a directory bank: span ID -> queue-entry
+     *  cycle (a span has at most one outstanding request). */
+    std::unordered_map<std::uint64_t, Cycle> dirQueuedAt_;
+
+    /** Bounded retention: the K slowest closed spans. */
+    std::vector<Record> retained_;
+
+    std::unordered_map<Addr, Agg> pcs_;
+    std::unordered_map<Addr, Agg> lines_;
+
+    /** Global segment sums over every closed span. */
+    std::uint64_t segTotals_[numSpanSegs] = {};
+    std::uint64_t netTotal_ = 0, dirBlockedTotal_ = 0,
+                  lockStallTotal_ = 0, grandTotal_ = 0;
+
+    Histogram totalHist_{0, 8192, 64};
+    Histogram missHist_{0, 8192, 64};
+    Histogram lockHeldHist_{0, 2048, 64};
+
+    // Thread-local like the trace/profile masks: each sweep worker
+    // gates independently; setupSpans resets it per System
+    // construction.
+    static inline thread_local bool enabled_ = false;
+    static inline std::uint64_t topKOverride_ = 0;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_SPAN_HH

@@ -40,16 +40,20 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
     std::atomic<std::size_t> nextJob{0};
 
     auto worker = [&]() {
-        // Multiple concurrent Systems would race on the shared trace
-        // sink files (text log, Chrome JSON); a sweep worker's runs are
-        // untraced. Stats are unaffected — tracing is observe-only.
-        Trace::disableThisThread();
         for (;;) {
             const std::size_t i =
                 nextJob.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
             const SweepJob &job = jobs[i];
+            // Multiple concurrent Systems would race on the shared
+            // trace / profile / span sink files; scope this worker's
+            // sinks to the job so every job writes its own suffixed
+            // file set. The key is derived from the job *index*, not
+            // the worker, so a 1-thread sweep and an 8-thread sweep
+            // produce identical file sets. Stats are unaffected —
+            // tracing is observe-only.
+            Trace::scopeToJob(strprintf("j%zu", i));
             try {
                 results[i] = runExperiment(job.workload, job.cfg,
                                            job.numCores, job.quota,

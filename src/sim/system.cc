@@ -45,6 +45,7 @@ System::System(const SystemParams &params,
     setupObservability();
     setupSelfChecking();
     setupProfiling();
+    setupSpans();
 
     // Idle fast-forward: params default, ROWSIM_FF env override, and a
     // hard disable under fault injection (the injector draws from its
@@ -241,6 +242,29 @@ System::setupProfiling()
         memsys.cache(c).setProfiler(profiler_.get());
     for (unsigned b = 0; b < memsys.numBanks(); b++)
         memsys.directory(b).setProfiler(profiler_.get());
+}
+
+void
+System::setupSpans()
+{
+    // Same discipline as the profile mask: the gate is unconditionally
+    // re-applied on every System construction (params override the env
+    // var, an empty params spec restores the env value), so a spans-on
+    // sweep job never leaks the gate into the next job that lands on
+    // the same worker thread.
+    SpanTracker::configure(params_.spans.empty()
+                               ? SpanTracker::envEnabled()
+                               : parseSpanSpec(params_.spans));
+    if (!SpanTracker::enabled())
+        return;
+    spans_ = std::make_unique<SpanTracker>(params_.numCores);
+    for (auto &c : cores)
+        c->setSpans(spans_.get());
+    for (CoreId c = 0; c < params_.numCores; c++)
+        memsys.cache(c).setSpans(spans_.get());
+    for (unsigned b = 0; b < memsys.numBanks(); b++)
+        memsys.directory(b).setSpans(spans_.get());
+    memsys.network().setSpans(spans_.get());
 }
 
 void
@@ -680,6 +704,21 @@ System::restore(Deser &d)
     intervalStats_.restore(d);
 
     d.expectEnd();
+    // Span state is never serialized: any span still open crossed the
+    // restore point, and atomics in flight inside the image can never
+    // open one. Both are dropped and counted, so no dangling span ID
+    // survives a restore.
+    if (spans_) {
+        spans_->truncateOpen();
+        std::uint64_t in_image = 0;
+        for (const auto &c : cores) {
+            c->atomicQueue().forEach([&](const AqEntry &a) {
+                if (a.valid)
+                    in_image++;
+            });
+        }
+        spans_->noteTruncated(in_image);
+    }
     // The service deadline is derived state: recompute it from the
     // restored watchdog / sampler / checker positions.
     recomputeNextService();
@@ -1074,6 +1113,9 @@ System::dumpStatsJson(std::FILE *out) const
     if (profiler_ && profiler_->active())
         std::fprintf(out, ",\n  \"profile\": %s",
                      profiler_->toJson().c_str());
+    // Span tracker (same absent-when-off contract as "profile").
+    if (spans_ && spans_->active())
+        std::fprintf(out, ",\n  \"spans\": %s", spans_->toJson().c_str());
     std::fprintf(out, "\n}\n");
 }
 

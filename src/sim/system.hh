@@ -22,6 +22,7 @@
 #include "sim/checker.hh"
 #include "sim/faults.hh"
 #include "sim/profile.hh"
+#include "sim/span.hh"
 
 namespace rowsim
 {
@@ -126,6 +127,9 @@ class System
     /** The attribution profiler; nullptr unless profiling is enabled. */
     Profiler *profiler() { return profiler_.get(); }
     const Profiler *profiler() const { return profiler_.get(); }
+    /** The span tracker; nullptr unless span tracing is enabled. */
+    SpanTracker *spans() { return spans_.get(); }
+    const SpanTracker *spans() const { return spans_.get(); }
 
     /**
      * Emit the crash diagnostics snapshot: a human-visible marker pair
@@ -193,6 +197,9 @@ class System
     /** Reset the profile mask (params override env, always re-applied)
      *  and wire the Profiler into cores / caches / directory banks. */
     void setupProfiling();
+    /** Reset the span gate (params override env, always re-applied) and
+     *  wire the SpanTracker into cores / caches / banks / network. */
+    void setupSpans();
     /** Per-core / per-structure forward-progress watchdog: panics naming
      *  the stuck component instead of a bare global "deadlock?". */
     void watchdogScan();
@@ -235,6 +242,7 @@ class System
     std::unique_ptr<Checker> checker_;
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Profiler> profiler_;
+    std::unique_ptr<SpanTracker> spans_;
 
     IntervalStats intervalStats_;
     StatGroup simStats_{"sim"};

@@ -18,6 +18,11 @@ Subcommands:
   profile-schema PROFILE_JSONL  tools/profile_report input records: run
                                 labels, CPI-stack slot conservation,
                                 RoW decision totals, per-PC tables.
+  span-schema SPANS_JSONL       tools/span_report input records: run
+                                labels, span count accounting, segment
+                                conservation (segments exactly tile
+                                dispatch->commit for every retained span
+                                and in aggregate), latency histograms.
   selftest                      run the built-in unit tests.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
@@ -120,6 +125,73 @@ def validate_profile_records(lines):
     return n
 
 
+SPAN_SEGS = {
+    "dispatchWait", "sbDrain", "aqWait", "execute", "l1Miss",
+    "unblockWait", "lockHeld",
+}
+
+
+def validate_span_records(lines):
+    """Validate span-tracker JSONL records (tools/span_report input)."""
+    n = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"line {lineno}: bad JSON: {e}")
+        if not rec.get("workload") or not rec.get("config"):
+            raise ValidationError(f"line {lineno}: missing run labels")
+        s = rec["spans"]
+        opened, closed = s.get("opened", 0), s.get("closed", 0)
+        open_end, truncated = s.get("openAtEnd", 0), s.get("truncated", 0)
+        if closed + open_end > opened:
+            raise ValidationError(
+                f"line {lineno}: closed+openAtEnd ({closed}+{open_end}) "
+                f"exceeds opened ({opened})")
+        # truncated also counts atomics restored in-image (which never
+        # opened a span), so it bounds the gap from below, not exactly.
+        if opened - closed - open_end > truncated:
+            raise ValidationError(
+                f"line {lineno}: {opened - closed - open_end} spans "
+                f"vanished without being closed or truncated")
+        seg_totals = s["segTotals"]
+        if set(seg_totals) < SPAN_SEGS:
+            raise ValidationError(
+                f"line {lineno}: segTotals missing segments "
+                f"{SPAN_SEGS - set(seg_totals)}")
+        if sum(seg_totals[k] for k in SPAN_SEGS) != seg_totals["total"]:
+            raise ValidationError(
+                f"line {lineno}: aggregate segments do not sum to the "
+                f"total span-cycles")
+        if s.get("latency", {}).get("count") != closed:
+            raise ValidationError(
+                f"line {lineno}: latency histogram count "
+                f"{s.get('latency', {}).get('count')} != closed {closed}")
+        # Per-span conservation: segments exactly tile dispatch->commit.
+        for sp in s.get("spans", []):
+            seg_sum = sum(sp["segs"][k] for k in SPAN_SEGS)
+            window = sp["commit"] - sp["dispatch"]
+            if not (seg_sum == window == sp["total"]):
+                raise ValidationError(
+                    f"line {lineno}, span {sp.get('id')}: segments sum "
+                    f"to {seg_sum}, commit-dispatch is {window}, total "
+                    f"reports {sp['total']} — conservation violated")
+        # Per-PC / per-line aggregates obey the same conservation.
+        for table in ("pcs", "lines"):
+            for agg in s.get(table, []):
+                if sum(agg[k] for k in SPAN_SEGS) != agg["total"]:
+                    raise ValidationError(
+                        f"line {lineno}: {table} aggregate segments do "
+                        f"not sum to its total")
+        n += 1
+    if n == 0:
+        raise ValidationError("no span records")
+    return n
+
+
 def _selftest():
     import copy
     import unittest
@@ -149,6 +221,26 @@ def _selftest():
                                "eagerContended": 1, "lazyUncontended": 1,
                                "lazyContended": 1}},
             "pcs": [{"pc": 4096}]}})
+    good_span = json.dumps({
+        "workload": "cq", "config": "eager", "cycles": 100,
+        "spans": {
+            "opened": 3, "closed": 2, "openAtEnd": 1, "truncated": 0,
+            "segTotals": {"dispatchWait": 2, "sbDrain": 10, "aqWait": 4,
+                          "execute": 6, "l1Miss": 20, "unblockWait": 0,
+                          "lockHeld": 8, "total": 50, "netCycles": 12,
+                          "dirBlocked": 4, "lockStall": 0},
+            "latency": {"count": 2, "mean": 25, "p50": 24, "p90": 30,
+                        "p99": 30, "min": 20, "max": 30},
+            "pcs": [{"pc": "0x1000", "count": 2, "total": 50,
+                     "dispatchWait": 2, "sbDrain": 10, "aqWait": 4,
+                     "execute": 6, "l1Miss": 20, "unblockWait": 0,
+                     "lockHeld": 8}],
+            "lines": [],
+            "spans": [{"id": 1, "dispatch": 10, "commit": 40,
+                       "total": 30,
+                       "segs": {"dispatchWait": 1, "sbDrain": 6,
+                                "aqWait": 2, "execute": 4, "l1Miss": 12,
+                                "unblockWait": 0, "lockHeld": 5}}]}})
 
     class SelfTest(unittest.TestCase):
         def test_perf_schema_accepts_good(self):
@@ -204,6 +296,43 @@ def _selftest():
             with self.assertRaisesRegex(ValidationError, "bad JSON"):
                 validate_profile_records(["{nope"])
 
+        def test_span_accepts_good_record(self):
+            self.assertEqual(validate_span_records([good_span]), 1)
+
+        def test_span_rejects_unbalanced_span(self):
+            rec = json.loads(good_span)
+            rec["spans"]["spans"][0]["segs"]["lockHeld"] += 1
+            with self.assertRaisesRegex(ValidationError, "conservation"):
+                validate_span_records([json.dumps(rec)])
+
+        def test_span_rejects_untiled_window(self):
+            rec = json.loads(good_span)
+            rec["spans"]["spans"][0]["commit"] += 5
+            with self.assertRaisesRegex(ValidationError, "conservation"):
+                validate_span_records([json.dumps(rec)])
+
+        def test_span_rejects_unbalanced_aggregate(self):
+            rec = json.loads(good_span)
+            rec["spans"]["segTotals"]["execute"] += 1
+            with self.assertRaisesRegex(ValidationError, "aggregate"):
+                validate_span_records([json.dumps(rec)])
+
+        def test_span_rejects_vanished_spans(self):
+            rec = json.loads(good_span)
+            rec["spans"]["openAtEnd"] = 0
+            with self.assertRaisesRegex(ValidationError, "vanished"):
+                validate_span_records([json.dumps(rec)])
+
+        def test_span_rejects_histogram_count_mismatch(self):
+            rec = json.loads(good_span)
+            rec["spans"]["latency"]["count"] = 3
+            with self.assertRaisesRegex(ValidationError, "histogram"):
+                validate_span_records([json.dumps(rec)])
+
+        def test_span_rejects_empty_input(self):
+            with self.assertRaises(ValidationError):
+                validate_span_records([""])
+
     suite = unittest.defaultTestLoader.loadTestsFromTestCase(SelfTest)
     result = unittest.TextTestRunner(verbosity=2).run(suite)
     return 0 if result.wasSuccessful() else 1
@@ -235,6 +364,11 @@ def main(argv):
             with open(argv[2]) as f:
                 n = validate_profile_records(f)
             print(f"profile schema ok: {n} records")
+            return 0
+        if cmd == "span-schema":
+            with open(argv[2]) as f:
+                n = validate_span_records(f)
+            print(f"span schema ok: {n} records")
             return 0
     except ValidationError as e:
         print(f"ci_validate: {cmd}: {e}", file=sys.stderr)

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Pretty-printer for the span tracker's JSON output.
+ *
+ * Input is either a single stats-JSON report (System::dumpStatsJson with
+ * a "spans" section), a raw SpanTracker::toJson() object, or a JSONL
+ * stream of per-run records ({"workload":...,"config":...,
+ * "spans":{...}}) as written via ROWSIM_SPANS_JSON. "-" reads stdin.
+ *
+ * For each record the tool prints the aggregate segment breakdown with
+ * latency percentiles, the per-PC and per-line tables, and — for the
+ * retained slowest spans — an ASCII waterfall of each span's segment
+ * timeline plus its critical-path decomposition (which leg of the miss
+ * window dominated: network hops, directory blocking, lock stalls, or
+ * unattributed protocol time).
+ *
+ * Standalone: parses JSON itself (no simulator linkage), so it also
+ * works on reports produced by older or newer rowsim builds.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (same shape as profile_report;
+// kept separate so each tool stays a single self-contained file).
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        static const Json null;
+        auto it = obj.find(key);
+        return it == obj.end() ? null : it->second;
+    }
+
+    bool has(const std::string &key) const { return obj.count(key) != 0; }
+
+    /** Numbers arrive as doubles or as hex strings ("0x10"). */
+    unsigned long long
+    asU64() const
+    {
+        if (type == Number)
+            return static_cast<unsigned long long>(num);
+        if (type == String)
+            return std::strtoull(str.c_str(), nullptr, 0);
+        return 0;
+    }
+
+    double asDouble() const { return type == Number ? num : 0.0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        ws();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        pos++;
+    }
+
+    Json
+    value()
+    {
+        ws();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true", Json::Bool, true);
+          case 'f': return literal("false", Json::Bool, false);
+          case 'n': return literal("null", Json::Null, false);
+          default: return number();
+        }
+    }
+
+    Json
+    literal(const char *word, Json::Type t, bool b)
+    {
+        if (s.compare(pos, std::strlen(word), word) != 0)
+            fail("bad literal");
+        pos += std::strlen(word);
+        Json j;
+        j.type = t;
+        j.b = b;
+        return j;
+    }
+
+    Json
+    object()
+    {
+        Json j;
+        j.type = Json::Object;
+        expect('{');
+        ws();
+        if (peek() == '}') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            ws();
+            Json key = string();
+            ws();
+            expect(':');
+            j.obj[key.str] = value();
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return j;
+        }
+    }
+
+    Json
+    array()
+    {
+        Json j;
+        j.type = Json::Array;
+        expect('[');
+        ws();
+        if (peek() == ']') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            j.arr.push_back(value());
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect(']');
+            return j;
+        }
+    }
+
+    Json
+    string()
+    {
+        Json j;
+        j.type = Json::String;
+        expect('"');
+        while (true) {
+            char c = peek();
+            pos++;
+            if (c == '"')
+                return j;
+            if (c == '\\') {
+                char e = peek();
+                pos++;
+                switch (e) {
+                  case '"': j.str += '"'; break;
+                  case '\\': j.str += '\\'; break;
+                  case '/': j.str += '/'; break;
+                  case 'n': j.str += '\n'; break;
+                  case 't': j.str += '\t'; break;
+                  case 'r': j.str += '\r'; break;
+                  case 'u':
+                    if (pos + 4 > s.size())
+                        fail("bad \\u escape");
+                    pos += 4;
+                    j.str += '?';
+                    break;
+                  default: fail("bad escape");
+                }
+            } else {
+                j.str += c;
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            pos++;
+        }
+        if (pos == start)
+            fail("expected number");
+        Json j;
+        j.type = Json::Number;
+        j.num = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+        return j;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------
+
+/** Matches SpanSeg order in src/sim/span.hh; the JSON keys are the
+ *  source of truth, this list only fixes the column order. */
+const char *const segNames[] = {
+    "dispatchWait", "sbDrain",     "aqWait",   "execute",
+    "l1Miss",       "unblockWait", "lockHeld",
+};
+constexpr unsigned numSegs = sizeof(segNames) / sizeof(segNames[0]);
+
+/** Single-letter glyph per segment for the waterfall lane. */
+const char segGlyphs[numSegs + 1] = "dsqxmul";
+
+void
+printHist(const char *name, const Json &h)
+{
+    if (h.type != Json::Object)
+        return;
+    std::printf("    %-12s n=%-8llu mean=%-9.1f p50=%-8.0f p90=%-8.0f "
+                "p99=%-8.0f max=%.0f\n",
+                name, h.at("count").asU64(), h.at("mean").asDouble(),
+                h.at("p50").asDouble(), h.at("p90").asDouble(),
+                h.at("p99").asDouble(), h.at("max").asDouble());
+}
+
+void
+printSegTotals(const Json &spans)
+{
+    const Json &t = spans.at("segTotals");
+    if (t.type != Json::Object)
+        return;
+    const double total =
+        std::max(1.0, static_cast<double>(t.at("total").asU64()));
+    std::printf("  Segment breakdown (all %llu closed spans, "
+                "%llu span-cycles):\n",
+                spans.at("closed").asU64(), t.at("total").asU64());
+    for (const char *seg : segNames) {
+        const unsigned long long v = t.at(seg).asU64();
+        std::printf("    %-14s %12llu %6.1f%%  ", seg, v,
+                    100.0 * static_cast<double>(v) / total);
+        const int bar = static_cast<int>(
+            40.0 * static_cast<double>(v) / total + 0.5);
+        for (int i = 0; i < bar; ++i)
+            std::printf("#");
+        std::printf("\n");
+    }
+    std::printf("    remote legs inside l1Miss: netCycles=%llu "
+                "dirBlocked=%llu lockStall=%llu\n",
+                t.at("netCycles").asU64(), t.at("dirBlocked").asU64(),
+                t.at("lockStall").asU64());
+}
+
+void
+printAggTable(const Json &arr, const char *title, const char *keyName,
+              unsigned long long tracked)
+{
+    if (arr.type != Json::Array || arr.arr.empty())
+        return;
+    std::printf("  %s (top %zu of %llu, by span-cycles):\n", title,
+                arr.arr.size(), tracked);
+    std::printf("    %-14s %8s %11s %7s %7s %9s %9s %9s %9s\n", keyName,
+                "count", "cycles", "lazy", "replays", "sbDrain", "l1Miss",
+                "unblock", "lockHeld");
+    for (const Json &a : arr.arr) {
+        std::printf("    %-14s %8llu %11llu %7llu %7llu %9llu %9llu "
+                    "%9llu %9llu\n",
+                    a.at(keyName).str.c_str(), a.at("count").asU64(),
+                    a.at("total").asU64(), a.at("lazy").asU64(),
+                    a.at("replays").asU64(), a.at("sbDrain").asU64(),
+                    a.at("l1Miss").asU64(), a.at("unblockWait").asU64(),
+                    a.at("lockHeld").asU64());
+    }
+}
+
+/** One retained span: header line, scaled waterfall lane, critical path. */
+void
+printSpan(const Json &sp)
+{
+    const unsigned long long total = sp.at("total").asU64();
+    std::printf("    span %llu core%llu pc=%s line=%s [%llu, %llu) "
+                "%llu cyc %s replays=%llu\n",
+                sp.at("id").asU64(), sp.at("core").asU64(),
+                sp.at("pc").str.c_str(), sp.at("line").str.c_str(),
+                sp.at("dispatch").asU64(), sp.at("commit").asU64(), total,
+                sp.at("lazy").b ? "lazy" : "eager",
+                sp.at("replays").asU64());
+
+    // Waterfall: one 60-column lane, segments in SpanSeg order scaled to
+    // the span's total. The segments tile dispatch→commit (conservation
+    // is enforced at close), so the lane is exact up to rounding.
+    const Json &segs = sp.at("segs");
+    constexpr int lane = 60;
+    std::string bar;
+    for (unsigned s = 0; s < numSegs; ++s) {
+        const unsigned long long v = segs.at(segNames[s]).asU64();
+        if (!v || !total)
+            continue;
+        int w = static_cast<int>(
+            static_cast<double>(lane) * static_cast<double>(v) /
+                static_cast<double>(total) + 0.5);
+        if (w < 1)
+            w = 1;
+        bar.append(static_cast<std::size_t>(w), segGlyphs[s]);
+    }
+    if (bar.size() > lane)
+        bar.resize(lane);
+    std::printf("      |%-*s|\n", lane, bar.c_str());
+
+    const Json &crit = sp.at("critical");
+    std::printf("      legs: net=%llu cyc/%llu hops, dirBlocked=%llu, "
+                "lockStall=%llu, missOther=%llu -> critical path: %s\n",
+                sp.at("netCycles").asU64(), sp.at("netHops").asU64(),
+                sp.at("dirBlocked").asU64(), sp.at("lockStall").asU64(),
+                crit.at("missOther").asU64(),
+                crit.at("dominant").str.c_str());
+}
+
+/** Render one record: @p spans is the span-tracker object itself. */
+void
+report(const Json &spans, const std::string &label)
+{
+    std::printf("=== %s (spans: %llu opened, %llu closed, %llu open at "
+                "end, %llu truncated) ===\n",
+                label.c_str(), spans.at("opened").asU64(),
+                spans.at("closed").asU64(), spans.at("openAtEnd").asU64(),
+                spans.at("truncated").asU64());
+    std::printf("  Latency percentiles (cycles dispatch->commit):\n");
+    printHist("all", spans.at("latency"));
+    printHist("l1Miss", spans.at("missLatency"));
+    printHist("lockHeld", spans.at("lockHeld"));
+    printSegTotals(spans);
+    printAggTable(spans.at("pcs"), "Atomic PCs", "pc",
+                  spans.at("pcsTracked").asU64());
+    printAggTable(spans.at("lines"), "Cache lines", "line",
+                  spans.at("linesTracked").asU64());
+
+    const Json &recs = spans.at("spans");
+    if (recs.type == Json::Array && !recs.arr.empty()) {
+        std::printf("  Slowest retained spans (waterfall: d=dispatchWait "
+                    "s=sbDrain q=aqWait x=execute m=l1Miss u=unblockWait "
+                    "l=lockHeld):\n");
+        for (const Json &sp : recs.arr)
+            printSpan(sp);
+    }
+    std::printf("\n");
+}
+
+/** A record is either a wrapper with a "spans" member (stats report /
+ *  JSONL run record) or a raw span-tracker object (has "segTotals"). */
+bool
+handleRecord(const Json &rec, unsigned index)
+{
+    const Json *spans = nullptr;
+    std::string label;
+    if (rec.has("spans") && rec.at("spans").type == Json::Object) {
+        spans = &rec.at("spans");
+        if (rec.at("workload").type == Json::String)
+            label = rec.at("workload").str;
+        if (rec.at("config").type == Json::String)
+            label += (label.empty() ? "" : "/") + rec.at("config").str;
+    } else if (rec.has("segTotals")) {
+        spans = &rec;
+    }
+    if (!spans)
+        return false;
+    if (label.empty())
+        label = "run" + std::to_string(index);
+    report(*spans, label);
+    return true;
+}
+
+std::string
+readAll(const char *path)
+{
+    std::FILE *f =
+        std::strcmp(path, "-") == 0 ? stdin : std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "span_report: cannot open %s\n", path);
+        std::exit(1);
+    }
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    if (f != stdin)
+        std::fclose(f);
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: span_report FILE|-\n"
+        "  FILE: a stats JSON report (with a \"spans\" section), a raw\n"
+        "        span-tracker JSON object, or a JSONL stream of run\n"
+        "        records as written via ROWSIM_SPANS_JSON. '-' reads\n"
+        "        stdin.\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2)
+        usage();
+    const char *input = argv[1];
+
+    const std::string text = readAll(input);
+    unsigned rendered = 0, index = 0;
+
+    // A whole-file parse handles pretty-printed stats reports; if that
+    // fails the input is a JSONL stream — parse line by line.
+    bool wholeFile = true;
+    try {
+        Json root = JsonParser(text).parse();
+        if (handleRecord(root, index++))
+            rendered++;
+    } catch (const std::exception &) {
+        wholeFile = false;
+    }
+
+    if (!wholeFile) {
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t eol = text.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = text.size();
+            std::string line = text.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            try {
+                Json rec = JsonParser(line).parse();
+                if (handleRecord(rec, index++))
+                    rendered++;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "span_report: skipping bad line: %s\n",
+                             e.what());
+            }
+        }
+    }
+
+    if (!rendered) {
+        std::fprintf(stderr, "span_report: no span records found in %s "
+                     "(was the run executed with ROWSIM_SPANS=on?)\n",
+                     input);
+        return 1;
+    }
+    return 0;
+}
