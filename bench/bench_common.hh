@@ -115,10 +115,16 @@ runPrewarm(int argc, char **argv)
     if (jobs.empty())
         return;
     std::vector<RunResult> results = runSweep(jobs);
-    for (std::size_t i = 0; i < jobs.size(); ++i)
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        // Never memoize a failed run: cachedRun falls back to an
+        // on-demand serial run, which surfaces the real error to the
+        // user instead of silently rendering a figure from garbage.
+        if (!results[i].ok())
+            continue;
         runCache().emplace(runKey(jobs[i].workload, jobs[i].cfg.label,
                                   jobs[i].numCores, jobs[i].quota),
                            std::move(results[i]));
+    }
 }
 
 /** Normalised execution time vs the eager-no-forwarding baseline, the

@@ -89,6 +89,13 @@ renderEntry(const std::vector<Sample> &samples)
     std::snprintf(buf, sizeof(buf), "      \"ckpt\": \"%s\",\n",
                   ckpt && *ckpt ? ckpt : "off");
     e += buf;
+    // Result-store mode (ROWSIM_RESULTS): a warm run served from the
+    // store reports the same bit-stable sim_cycles with a far lower
+    // wall_ms; this field keeps cold and warm entries tellable apart.
+    const char *results = std::getenv("ROWSIM_RESULTS");
+    std::snprintf(buf, sizeof(buf), "      \"results\": \"%s\",\n",
+                  results && *results ? results : "off");
+    e += buf;
     std::snprintf(buf, sizeof(buf), "      \"build\": \"%s\"\n",
 #ifdef NDEBUG
                   "release"
@@ -102,7 +109,7 @@ renderEntry(const std::vector<Sample> &samples)
         const Sample &s = samples[i];
         std::snprintf(buf, sizeof(buf),
                       "      \"%s\": {\"sim_cycles\": %llu, "
-                      "\"wall_ms\": %.1f, \"cycles_per_sec\": %.0f}%s\n",
+                      "\"wall_ms\": %.3f, \"cycles_per_sec\": %.0f}%s\n",
                       s.workload.c_str(),
                       static_cast<unsigned long long>(s.simCycles),
                       s.wallMs, s.cyclesPerSec,

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared filesystem helpers: crash-safe atomic file writes (tmp +
+ * rename) and whole-file reads. The snapshot layer, the content-
+ * addressed result store, and the crash-dump sinks all write through
+ * atomicWriteFile so every on-disk artifact follows one discipline:
+ * readers only ever observe complete files, no matter how many
+ * processes race on one path or die mid-write.
+ */
+
+#ifndef ROWSIM_COMMON_IO_HH
+#define ROWSIM_COMMON_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rowsim
+{
+
+/** Named failure of a filesystem helper. */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &what)
+        : std::runtime_error("io: " + what)
+    {
+    }
+};
+
+/**
+ * Write @p len bytes to @p path atomically: the data goes to a unique
+ * sibling temporary file (`path + ".tmp.<pid>.<seq>"`), is flushed and
+ * fsync'ed, and is renamed over @p path only once complete. A reader
+ * racing the write sees the old file or the new file, never a mix; a
+ * writer killed at any point leaves at most a `.tmp.*` sibling behind,
+ * never a partial @p path. Missing parent directories are created.
+ * Throws IoError on any failure (the temporary is removed).
+ */
+void atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t len);
+
+inline void
+atomicWriteFile(const std::string &path,
+                const std::vector<std::uint8_t> &data)
+{
+    atomicWriteFile(path, data.data(), data.size());
+}
+
+inline void
+atomicWriteFile(const std::string &path, const std::string &data)
+{
+    atomicWriteFile(path, data.data(), data.size());
+}
+
+/** Read the whole file at @p path into @p out. Returns false (with
+ *  @p out cleared) when the file cannot be opened or read; an existing
+ *  empty file reads back as true with an empty buffer. */
+bool readFileBytes(const std::string &path, std::vector<std::uint8_t> &out);
+
+/**
+ * Test support for torn-write coverage: make the calling process
+ * _Exit(9) after @p bytes of the next atomicWriteFile payload have
+ * reached the temporary file — simulating a worker killed mid-write.
+ * Pass atomicWriteKillDisabled (the default) to disarm. Affects every
+ * subsequent atomicWriteFile in this process until disarmed, so only
+ * arm it in a forked child that exists to die.
+ */
+constexpr std::size_t atomicWriteKillDisabled = static_cast<std::size_t>(-1);
+void setAtomicWriteKillAfter(std::size_t bytes);
+
+} // namespace rowsim
+
+#endif // ROWSIM_COMMON_IO_HH

@@ -37,11 +37,38 @@ struct ExpConfig
     std::string spans;
 };
 
+/** Outcome of one run. Anything but Ok means the metric fields are
+ *  not meaningful; `error` says why. */
+enum class RunStatus : std::uint8_t
+{
+    Ok = 0,       ///< completed normally
+    Failed = 1,   ///< threw (panic, fatal, bad config) in-process
+    Crashed = 2,  ///< isolated worker died (signal / abort / _Exit)
+    TimedOut = 3, ///< isolated worker exceeded its wall-clock budget
+};
+
+const char *runStatusName(RunStatus s);
+
 /** Everything a figure could want from one run. */
 struct RunResult
 {
     std::string workload;
     std::string config;
+
+    /** Outcome of the run; metric fields below are meaningful only for
+     *  Ok. Sweeps in non-strict mode report per-job failures here
+     *  instead of throwing. */
+    RunStatus status = RunStatus::Ok;
+    /** Human-readable failure description (empty when Ok). */
+    std::string error;
+    /** Executions this result took (> 1 only for isolated sweep jobs
+     *  that were retried after a crash / timeout). */
+    std::uint32_t attempts = 1;
+    /** True when the result was served from the content-addressed
+     *  result store instead of being recomputed. */
+    bool fromCache = false;
+
+    bool ok() const { return status == RunStatus::Ok; }
 
     Cycle cycles = 0;
     std::uint64_t instructions = 0;
@@ -99,7 +126,9 @@ struct RunResult
 
     /** One-line JSON object with every field above except statsJson and
      *  profileJson (run reports); spanJson rides along as "spans" when
-     *  the run traced spans. */
+     *  the run traced spans, and status/error/attempts appear only for
+     *  failed runs (ok-run reports stay byte-identical across
+     *  versions). */
     std::string toJson() const;
 };
 

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Crash-safe, content-addressed result store.
+ *
+ * Every completed run can be persisted under a key that captures
+ * everything the result depends on: the configuration fingerprint
+ * (architecture, seed, fault-injection setup), the workload, the
+ * resolved per-core quota, the config label, the effective
+ * observability knobs that shape the RunResult (profiler mask, span
+ * gate, interval-stats period), and the result-schema version. Reruns
+ * with an identical key are served from disk — byte-identical, in
+ * microseconds — so figure regressions become incremental queries
+ * instead of hour-long batches.
+ *
+ * The store is designed to survive anything the execution layer throws
+ * at it: entries are written atomically (tmp + rename via common/io),
+ * carry a SHA-256 payload trailer, and are self-describing (magic +
+ * schema version + embedded key). A corrupted, truncated, stale, or
+ * misplaced entry is detected on load, quarantined aside, and reported
+ * as a miss — the caller transparently recomputes; store damage is
+ * never fatal and never returns wrong data.
+ *
+ * Enabled via ROWSIM_RESULTS=on (directory: ROWSIM_RESULTS_DIR,
+ * default "rowsim-results"); the experiment layer consults it in
+ * runExperiment / runExperimentParams (see ResultStore::fromEnv).
+ */
+
+#ifndef ROWSIM_SIM_RESULTSTORE_HH
+#define ROWSIM_SIM_RESULTSTORE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace rowsim
+{
+
+struct SystemParams;
+
+/** Version of the serialized RunResult payload. Bumped on any layout
+ *  change; it is part of the key preimage, so a bump turns every old
+ *  entry into a clean miss instead of a decode error. */
+constexpr std::uint32_t resultSchemaVersion = 1;
+
+/** SHA-256 store key. */
+using ResultKey = std::array<std::uint8_t, 32>;
+
+/** Serialize @p r into the canonical little-endian payload (everything
+ *  except the transient fromCache flag). Also the process-isolation
+ *  handoff format of the sweep engine. */
+std::vector<std::uint8_t> encodeResult(const RunResult &r);
+
+/** Decode an encodeResult payload. Throws SnapshotError on any damage
+ *  (bounds, section drift, trailing bytes). */
+RunResult decodeResult(const std::vector<std::uint8_t> &payload);
+
+class ResultStore
+{
+  public:
+    /** Store rooted at @p dir (created lazily on first write). */
+    explicit ResultStore(std::string dir);
+
+    /**
+     * The store the environment asks for: nullptr unless
+     * ROWSIM_RESULTS is on (on/1/yes/true; off/0/no/false/unset
+     * disable; anything else is a user error). ROWSIM_RESULTS_DIR
+     * overrides the default "rowsim-results" directory.
+     */
+    static std::unique_ptr<ResultStore> fromEnv();
+
+    /**
+     * Key for one (params, workload, label, quota) run. Includes the
+     * config fingerprint (resolved exactly as a live System would —
+     * fault env vars and all), the result-schema version, and the
+     * effective profiler / span / interval-stats settings, since those
+     * change which RunResult fields are populated.
+     */
+    static ResultKey keyFor(const SystemParams &params,
+                            const std::string &workload,
+                            const std::string &label, std::uint64_t quota);
+
+    static std::string keyHex(const ResultKey &key);
+
+    /** Entry path for @p key: `<dir>/<hex>.res`. */
+    std::string pathFor(const ResultKey &key) const;
+
+    /**
+     * Look up @p key. Returns true and fills @p out on a valid hit.
+     * A missing entry or a schema-version skew is a clean miss; a
+     * damaged entry (bad magic, wrong embedded key, truncation, digest
+     * mismatch, undecodable payload) is quarantined to
+     * `<entry>.quarantined` and reported as a miss. Never throws.
+     */
+    bool load(const ResultKey &key, RunResult &out);
+
+    /**
+     * Persist @p r under @p key (atomic write; concurrent writers on
+     * one key are safe — last complete write wins and every read sees
+     * a complete entry). Best-effort: failures warn and are counted,
+     * never thrown.
+     */
+    void store(const ResultKey &key, const RunResult &r);
+
+    const std::string &dir() const { return dir_; }
+
+    // Session counters (observability + tests).
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t quarantined() const { return quarantined_; }
+
+  private:
+    void quarantine(const std::string &path, const char *why);
+
+    std::string dir_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t quarantined_ = 0;
+};
+
+} // namespace rowsim
+
+#endif // ROWSIM_SIM_RESULTSTORE_HH

@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/config.hh"
+#include "common/io.hh"
 #include "common/log.hh"
 #include "common/sha256.hh"
 #include "cpu/microop.hh"
 #include "net/message.hh"
+#include "sim/faults.hh"
 
 namespace rowsim
 {
@@ -18,8 +21,10 @@ namespace
 constexpr std::uint8_t kMagic[8] = {'R', 'O', 'W', 'S', 'N', 'A', 'P', 0};
 
 /** Limit one string/section read to something sane so a corrupted length
- *  field fails fast instead of attempting a huge allocation. */
-constexpr std::uint64_t kMaxString = 1u << 20;
+ *  field fails fast instead of attempting a huge allocation. Sized to
+ *  admit a full captured statsJson (result-store entries embed one; a
+ *  32-core interval-sampled dump runs to tens of MB). */
+constexpr std::uint64_t kMaxString = 1u << 26;
 
 } // namespace
 
@@ -37,6 +42,13 @@ Ser::str(const std::string &s)
 {
     u64(s.size());
     buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+Ser::raw(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
 }
 
 void
@@ -216,62 +228,113 @@ restoreOp(Deser &d, MicroOp &op)
     op.endOfIteration = d.b();
 }
 
+std::uint64_t
+configFingerprint(const SystemParams &params, std::uint32_t fault_mask,
+                  std::uint64_t fault_seed, std::uint32_t fault_rate)
+{
+    // Serialize every numeric architectural parameter and hash the
+    // bytes. Observability knobs (tracing, interval stats, profiling,
+    // checker cadence) are deliberately excluded: they never change
+    // simulated behaviour, so images stay interchangeable across them.
+    Ser s;
+    const CoreParams &cp = params.core;
+    const RowConfig &rc = cp.row;
+    const MemParams &mp = params.mem;
+    s.u32(params.numCores);
+    s.u64(params.seed);
+    s.u64(params.deadlockCycles);
+    s.u32(cp.fetchWidth);
+    s.u32(cp.issueWidth);
+    s.u32(cp.commitWidth);
+    s.u32(cp.robEntries);
+    s.u32(cp.lqEntries);
+    s.u32(cp.sbEntries);
+    s.u32(cp.aqEntries);
+    s.u32(cp.iqEntries);
+    s.u32(cp.mispredictPenalty);
+    s.u32(cp.atomicReissueDelay);
+    s.b(cp.storeToLoadForwarding);
+    s.b(cp.forwardToAtomics);
+    s.u8(static_cast<std::uint8_t>(cp.atomicPolicy));
+    s.u8(static_cast<std::uint8_t>(rc.detector));
+    s.u8(static_cast<std::uint8_t>(rc.update));
+    s.u32(rc.predictorEntries);
+    s.u32(rc.counterBits);
+    s.u64(rc.latencyThreshold);
+    s.u32(rc.timestampBits);
+    s.b(rc.localityPromotion);
+    s.u32(mp.l1Sets);
+    s.u32(mp.l1Ways);
+    s.u64(mp.l1HitLatency);
+    s.u32(mp.l2Sets);
+    s.u32(mp.l2Ways);
+    s.u64(mp.l2HitLatency);
+    s.u32(mp.l3SetsPerBank);
+    s.u32(mp.l3Ways);
+    s.u64(mp.l3HitLatency);
+    s.u64(mp.memoryLatency);
+    s.u32(mp.mshrs);
+    s.b(mp.prefetcher);
+    s.u64(mp.lockStealThreshold);
+    s.u64(params.net.hopLatency);
+    // Fault injection changes the architectural trajectory, so its
+    // whole setup is part of the fingerprint.
+    s.b(fault_mask != 0);
+    if (fault_mask != 0) {
+        s.u32(fault_mask);
+        s.u64(fault_seed);
+        s.u32(fault_rate);
+    }
+    Sha256 h;
+    h.update(s.bytes().data(), s.bytes().size());
+    const auto digest = h.digest();
+    std::uint64_t fp = 0;
+    for (int i = 7; i >= 0; i--)
+        fp = (fp << 8) | digest[static_cast<std::size_t>(i)];
+    return fp;
+}
+
+std::uint64_t
+configFingerprint(const SystemParams &params)
+{
+    const FaultSetup fs = resolveFaultSetup(params);
+    return configFingerprint(params, fs.mask, fs.seed, fs.rate);
+}
+
 void
 writeSnapshotFile(const std::string &path,
                   const std::vector<std::uint8_t> &payload,
                   std::uint64_t fingerprint)
 {
-    Ser header;
+    Ser file;
     for (std::uint8_t c : kMagic)
-        header.u8(c);
-    header.u32(snapshotFormatVersion);
-    header.u64(fingerprint);
-    header.u64(payload.size());
+        file.u8(c);
+    file.u32(snapshotFormatVersion);
+    file.u64(fingerprint);
+    file.u64(payload.size());
+    file.raw(payload.data(), payload.size());
 
     Sha256 hasher;
     hasher.update(payload.data(), payload.size());
     const auto trailer = hasher.digest();
+    file.raw(trailer.data(), trailer.size());
 
-    // Write-then-rename: readers only ever observe complete images, even
-    // when parallel sweep workers race on the same checkpoint key.
-    const std::string tmp =
-        path + strprintf(".tmp.%p", static_cast<const void *>(&payload));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        throw SnapshotError(
-            strprintf("cannot create '%s'", tmp.c_str()));
-    bool ok =
-        std::fwrite(header.bytes().data(), 1, header.bytes().size(), f) ==
-            header.bytes().size() &&
-        (payload.empty() ||
-         std::fwrite(payload.data(), 1, payload.size(), f) ==
-             payload.size()) &&
-        std::fwrite(trailer.data(), 1, trailer.size(), f) ==
-            trailer.size();
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        throw SnapshotError(strprintf("write to '%s' failed", tmp.c_str()));
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw SnapshotError(
-            strprintf("cannot rename '%s' into place", tmp.c_str()));
+    // Tmp+rename via the shared helper: readers only ever observe
+    // complete images, even when parallel sweep workers race on the
+    // same checkpoint key.
+    try {
+        atomicWriteFile(path, file.bytes());
+    } catch (const IoError &e) {
+        throw SnapshotError(e.what());
     }
 }
 
 std::vector<std::uint8_t>
 readSnapshotFile(const std::string &path, std::uint64_t expect_fingerprint)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        throw SnapshotError(strprintf("cannot open '%s'", path.c_str()));
     std::vector<std::uint8_t> raw;
-    std::uint8_t chunk[1 << 14];
-    std::size_t n;
-    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
-        raw.insert(raw.end(), chunk, chunk + n);
-    std::fclose(f);
+    if (!readFileBytes(path, raw))
+        throw SnapshotError(strprintf("cannot open '%s'", path.c_str()));
 
     Deser d(raw.data(), raw.size());
     std::uint8_t magic[8];

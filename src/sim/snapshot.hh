@@ -94,6 +94,10 @@ class Ser
 
     void str(const std::string &s);
 
+    /** Append @p len raw bytes with no length prefix (key preimages,
+     *  digests — anything whose framing the caller owns). */
+    void raw(const void *data, std::size_t len);
+
     /** Open a named section. Purely a framing marker: the reader
      *  verifies it by name, catching any producer/consumer drift at the
      *  first misaligned field instead of yielding garbage state. */
@@ -149,6 +153,26 @@ void saveMsg(Ser &s, const Msg &m);
 void restoreMsg(Deser &d, Msg &m);
 void saveOp(Ser &s, const MicroOp &op);
 void restoreOp(Deser &d, MicroOp &op);
+
+struct SystemParams;
+
+/**
+ * The canonical configuration fingerprint: every numeric architectural
+ * parameter of @p params serialized in a fixed little-endian order and
+ * hashed. The three-argument overload appends a resolved fault-injection
+ * setup (mask/seed/rate) exactly as a live System with that injector
+ * would; the one-argument overload resolves the fault setup from
+ * @p params and the ROWSIM_FAULTS* environment first — so it matches
+ * `System::configFingerprint()` for the System those params construct,
+ * without building one. Observability knobs (tracing, profiling,
+ * interval stats, checker cadence) are deliberately excluded: they
+ * never change simulated behaviour.
+ */
+std::uint64_t configFingerprint(const SystemParams &params);
+std::uint64_t configFingerprint(const SystemParams &params,
+                                std::uint32_t fault_mask,
+                                std::uint64_t fault_seed,
+                                std::uint32_t fault_rate);
 
 /**
  * Write one checkpoint file: magic, format version, @p fingerprint,

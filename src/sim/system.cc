@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/io.hh"
 #include "common/log.hh"
 #include "common/sha256.hh"
 #include "common/trace.hh"
@@ -176,35 +177,14 @@ System::setupSelfChecking()
                                     : Checker::envInterval());
 
     // Fault injector: only constructed when a category is selected, so
-    // the per-tick cost with faults off is one null-pointer test.
-    std::uint32_t fault_mask = 0;
-    if (!params_.faultCategories.empty()) {
-        fault_mask = parseFaultCategories(params_.faultCategories);
-    } else if (const char *env = std::getenv("ROWSIM_FAULTS");
-               env && *env) {
-        fault_mask = parseFaultCategories(env);
-    }
-    if (fault_mask) {
-        std::uint64_t fseed = params_.faultSeed;
-        if (fseed == 0) {
-            if (const char *env = std::getenv("ROWSIM_FAULTS_SEED");
-                env && *env) {
-                fseed = parseEnvU64("ROWSIM_FAULTS_SEED", env);
-            }
-        }
-        if (fseed == 0)
-            fseed = params_.seed * 0x9e3779b97f4a7c15ULL + 1;
-        std::uint64_t rate = params_.faultRate;
-        if (rate == 0) {
-            if (const char *env = std::getenv("ROWSIM_FAULTS_RATE");
-                env && *env) {
-                rate = parseEnvU64("ROWSIM_FAULTS_RATE", env);
-            }
-        }
-        if (rate == 0)
-            rate = 50;
-        faults_ = std::make_unique<FaultInjector>(
-            this, fault_mask, fseed, static_cast<unsigned>(rate));
+    // the per-tick cost with faults off is one null-pointer test. The
+    // setup resolution is shared with the standalone configFingerprint()
+    // (resolveFaultSetup), keeping store keys and live fingerprints in
+    // lockstep.
+    const FaultSetup fs = resolveFaultSetup(params_);
+    if (fs.mask) {
+        faults_ = std::make_unique<FaultInjector>(this, fs.mask, fs.seed,
+                                                  fs.rate);
         memsys.network().setDelayHook(
             [this](const Msg &msg, Cycle now) {
                 return faults_->extraDelay(msg, now);
@@ -729,66 +709,12 @@ System::restore(Deser &d)
 std::uint64_t
 System::configFingerprint() const
 {
-    // Serialize every numeric architectural parameter and hash the
-    // bytes. Observability knobs (tracing, interval stats, profiling,
-    // checker cadence) are deliberately excluded: they never change
-    // simulated behaviour, so images stay interchangeable across them.
-    Ser s;
-    const CoreParams &cp = params_.core;
-    const RowConfig &rc = cp.row;
-    const MemParams &mp = params_.mem;
-    s.u32(params_.numCores);
-    s.u64(params_.seed);
-    s.u64(params_.deadlockCycles);
-    s.u32(cp.fetchWidth);
-    s.u32(cp.issueWidth);
-    s.u32(cp.commitWidth);
-    s.u32(cp.robEntries);
-    s.u32(cp.lqEntries);
-    s.u32(cp.sbEntries);
-    s.u32(cp.aqEntries);
-    s.u32(cp.iqEntries);
-    s.u32(cp.mispredictPenalty);
-    s.u32(cp.atomicReissueDelay);
-    s.b(cp.storeToLoadForwarding);
-    s.b(cp.forwardToAtomics);
-    s.u8(static_cast<std::uint8_t>(cp.atomicPolicy));
-    s.u8(static_cast<std::uint8_t>(rc.detector));
-    s.u8(static_cast<std::uint8_t>(rc.update));
-    s.u32(rc.predictorEntries);
-    s.u32(rc.counterBits);
-    s.u64(rc.latencyThreshold);
-    s.u32(rc.timestampBits);
-    s.b(rc.localityPromotion);
-    s.u32(mp.l1Sets);
-    s.u32(mp.l1Ways);
-    s.u64(mp.l1HitLatency);
-    s.u32(mp.l2Sets);
-    s.u32(mp.l2Ways);
-    s.u64(mp.l2HitLatency);
-    s.u32(mp.l3SetsPerBank);
-    s.u32(mp.l3Ways);
-    s.u64(mp.l3HitLatency);
-    s.u64(mp.memoryLatency);
-    s.u32(mp.mshrs);
-    s.b(mp.prefetcher);
-    s.u64(mp.lockStealThreshold);
-    s.u64(params_.net.hopLatency);
-    // Fault injection changes the architectural trajectory, so its
-    // whole setup is part of the fingerprint.
-    s.b(faults_ != nullptr);
-    if (faults_) {
-        s.u32(faults_->mask());
-        s.u64(faults_->seed());
-        s.u32(faults_->rate());
-    }
-    Sha256 h;
-    h.update(s.bytes().data(), s.bytes().size());
-    const auto digest = h.digest();
-    std::uint64_t fp = 0;
-    for (int i = 7; i >= 0; i--)
-        fp = (fp << 8) | digest[static_cast<std::size_t>(i)];
-    return fp;
+    // Delegate to the standalone encoder with this System's actual
+    // injector setup, so the fingerprint reflects what is running, not
+    // what the environment would resolve to now.
+    return rowsim::configFingerprint(
+        params_, faults_ ? faults_->mask() : 0,
+        faults_ ? faults_->seed() : 0, faults_ ? faults_->rate() : 0);
 }
 
 std::string
@@ -915,16 +841,35 @@ System::dumpCrashDiagnostics(const char *reason)
     std::fprintf(stderr, "=== ROWSIM CRASH DUMP BEGIN ===\n");
     emitCrashJson(stderr, reason);
     std::fprintf(stderr, "\n=== ROWSIM CRASH DUMP END ===\n");
+    // Both crash sinks carry the sweep job key (like the trace / span
+    // sinks), so concurrently failing jobs — or the same job's retries
+    // in different processes — write distinct files instead of
+    // clobbering one shared path.
     if (const char *path = std::getenv("ROWSIM_CRASH_JSON");
         path && *path) {
-        if (std::FILE *f = std::fopen(path, "w")) {
-            emitCrashJson(f, reason);
-            std::fprintf(f, "\n");
-            std::fclose(f);
-        } else {
+        const std::string dst = suffixJobPath(path, Trace::jobKey());
+        // Render in memory first: the dump must land atomically (the
+        // sweep parent reads it while the dying child is still exiting)
+        // and a panic inside a diagnostic printer must not leave a
+        // half-written file.
+        char *buf = nullptr;
+        std::size_t len = 0;
+        bool written = false;
+        if (std::FILE *mem = open_memstream(&buf, &len)) {
+            emitCrashJson(mem, reason);
+            std::fprintf(mem, "\n");
+            std::fclose(mem);
+            try {
+                atomicWriteFile(dst, buf, len);
+                written = true;
+            } catch (const std::exception &) {
+            }
+            std::free(buf);
+        }
+        if (!written) {
             std::fprintf(stderr,
                          "rowsim: cannot write crash dump to '%s'\n",
-                         path);
+                         dst.c_str());
         }
     }
     // Crash checkpoint (ROWSIM_CRASH_CKPT): reuse the snapshot layer to
@@ -932,11 +877,12 @@ System::dumpCrashDiagnostics(const char *reason)
     // mid-tick, and a failed save must not mask the original panic.
     if (const char *ckpt = std::getenv("ROWSIM_CRASH_CKPT");
         ckpt && *ckpt) {
+        const std::string dst = suffixJobPath(ckpt, Trace::jobKey());
         try {
-            saveCheckpoint(ckpt);
+            saveCheckpoint(dst);
             std::fprintf(stderr,
                          "rowsim: crash checkpoint written to '%s'\n",
-                         ckpt);
+                         dst.c_str());
         } catch (const std::exception &e) {
             std::fprintf(stderr, "rowsim: crash checkpoint failed: %s\n",
                          e.what());

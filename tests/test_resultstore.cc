@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Result-store tests: codec round trips, cold→warm byte identity
+ * through the experiment layer, every damage mode (torn write, bit
+ * flip, truncation, misplaced entry, schema skew) detected and
+ * recovered without ever being fatal, concurrent writers, key
+ * sensitivity, and the job-suffixed crash-dump sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/io.hh"
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+#include "sim/resultstore.hh"
+#include "sim/snapshot.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+/** Fresh per-test store directory under /tmp. */
+std::string
+testDir(const char *name)
+{
+    const std::string dir = strprintf("/tmp/rowsim-resultstore-%ld-%s",
+                                      static_cast<long>(::getpid()), name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** A RunResult with every field populated (no simulation needed). */
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.workload = "pc";
+    r.config = "eager";
+    r.cycles = 123456;
+    r.instructions = 789012;
+    r.atomicsCommitted = 345;
+    r.atomicsPer10k = 4.375;
+    r.atomicsUnlocked = 340;
+    r.detectedContended = 12;
+    r.oracleContended = 17;
+    r.contendedPct = 5.0;
+    r.missLatency = 41.25;
+    r.dispatchToIssue = 3.5;
+    r.issueToLock = 88.875;
+    r.lockToUnlock = 12.125;
+    r.dispatchToIssueP99 = 17.0;
+    r.issueToLockP50 = 60.0;
+    r.lockToUnlockP90 = 44.0;
+    r.olderUnexecuted = 2.25;
+    r.youngerStarted = 6.5;
+    r.predAccuracy = 93.75;
+    r.atomicsForwarded = 7;
+    r.atomicsPromoted = 3;
+    r.forcedUnlocks = 1;
+    r.eagerIssued = 200;
+    r.lazyIssued = 140;
+    r.statsJson = "{\"sim\":{\"cycles\":123456}}\n";
+    r.profileJson = "{\"cpi\":[]}";
+    r.spanJson = "{\"count\":0}";
+    return r;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.atomicsCommitted, b.atomicsCommitted);
+    EXPECT_EQ(a.atomicsPer10k, b.atomicsPer10k);
+    EXPECT_EQ(a.missLatency, b.missLatency);
+    EXPECT_EQ(a.issueToLock, b.issueToLock);
+    EXPECT_EQ(a.issueToLockP50, b.issueToLockP50);
+    EXPECT_EQ(a.predAccuracy, b.predAccuracy);
+    EXPECT_EQ(a.eagerIssued, b.eagerIssued);
+    EXPECT_EQ(a.lazyIssued, b.lazyIssued);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    EXPECT_EQ(a.profileJson, b.profileJson);
+    EXPECT_EQ(a.spanJson, b.spanJson);
+}
+
+ResultKey
+sampleKey(std::uint64_t quota = 100)
+{
+    return ResultStore::keyFor(makeParams(eagerConfig(), 8, 1), "pc",
+                               "eager", quota);
+}
+
+} // namespace
+
+TEST(ResultCodec, RoundTripsEveryField)
+{
+    const RunResult r = sampleResult();
+    expectSameResult(r, decodeResult(encodeResult(r)));
+
+    RunResult failed = sampleResult();
+    failed.status = RunStatus::TimedOut;
+    failed.error = "exceeded 500 ms \"budget\"";
+    failed.attempts = 3;
+    expectSameResult(failed, decodeResult(encodeResult(failed)));
+}
+
+TEST(ResultCodec, RejectsDamage)
+{
+    std::vector<std::uint8_t> payload = encodeResult(sampleResult());
+    EXPECT_THROW(decodeResult(std::vector<std::uint8_t>(
+                     payload.begin(), payload.begin() + 10)),
+                 SnapshotError);
+    std::vector<std::uint8_t> trailing = payload;
+    trailing.push_back(0);
+    EXPECT_THROW(decodeResult(trailing), SnapshotError);
+}
+
+TEST(ResultStoreSuite, StoreLoadHitAndCounters)
+{
+    ResultStore store(testDir("hit"));
+    const ResultKey key = sampleKey();
+    RunResult out;
+    EXPECT_FALSE(store.load(key, out)); // empty store: clean miss
+    EXPECT_EQ(store.misses(), 1u);
+
+    store.store(key, sampleResult());
+    EXPECT_EQ(store.stores(), 1u);
+    ASSERT_TRUE(store.load(key, out));
+    expectSameResult(sampleResult(), out);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.quarantined(), 0u);
+}
+
+TEST(ResultStoreSuite, KeyReactsToEveryInput)
+{
+    const SystemParams base = makeParams(eagerConfig(), 8, 1);
+    const ResultKey k = ResultStore::keyFor(base, "pc", "eager", 100);
+    EXPECT_NE(k, ResultStore::keyFor(base, "cq", "eager", 100));
+    EXPECT_NE(k, ResultStore::keyFor(base, "pc", "lazy-label", 100));
+    EXPECT_NE(k, ResultStore::keyFor(base, "pc", "eager", 101));
+    EXPECT_NE(k, ResultStore::keyFor(makeParams(eagerConfig(), 16, 1),
+                                     "pc", "eager", 100));
+    EXPECT_NE(k, ResultStore::keyFor(makeParams(eagerConfig(), 8, 2),
+                                     "pc", "eager", 100));
+    EXPECT_NE(k, ResultStore::keyFor(makeParams(lazyConfig(), 8, 1), "pc",
+                                     "eager", 100));
+    // The profiler mask shapes the RunResult (pcs fills percentile
+    // fields), so it must be part of the key even though it does not
+    // change the simulated trajectory.
+    ExpConfig prof = eagerConfig();
+    prof.profile = "pcs";
+    EXPECT_NE(k, ResultStore::keyFor(makeParams(prof, 8, 1), "pc",
+                                     "eager", 100));
+    // Deterministic: same inputs, same key.
+    EXPECT_EQ(k, ResultStore::keyFor(makeParams(eagerConfig(), 8, 1),
+                                     "pc", "eager", 100));
+}
+
+TEST(ResultStoreSuite, BitFlipIsQuarantinedThenRecomputed)
+{
+    ResultStore store(testDir("bitflip"));
+    const ResultKey key = sampleKey();
+    store.store(key, sampleResult());
+
+    const std::string path = store.pathFor(key);
+    std::vector<std::uint8_t> raw;
+    ASSERT_TRUE(readFileBytes(path, raw));
+    raw[raw.size() / 2] ^= 0x40; // flip one payload bit
+    atomicWriteFile(path, raw);
+
+    RunResult out;
+    EXPECT_FALSE(store.load(key, out));
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // Recompute path: a fresh store() fills the slot again, and the
+    // reread is byte-identical to the original.
+    store.store(key, sampleResult());
+    ASSERT_TRUE(store.load(key, out));
+    expectSameResult(sampleResult(), out);
+}
+
+TEST(ResultStoreSuite, TruncationIsQuarantined)
+{
+    ResultStore store(testDir("trunc"));
+    const ResultKey key = sampleKey();
+    store.store(key, sampleResult());
+
+    const std::string path = store.pathFor(key);
+    std::vector<std::uint8_t> raw;
+    ASSERT_TRUE(readFileBytes(path, raw));
+
+    for (const std::size_t keep :
+         {std::size_t{6}, std::size_t{40}, raw.size() - 7}) {
+        atomicWriteFile(path, std::vector<std::uint8_t>(
+                                  raw.begin(),
+                                  raw.begin() +
+                                      static_cast<std::ptrdiff_t>(keep)));
+        RunResult out;
+        EXPECT_FALSE(store.load(key, out)) << keep;
+        std::filesystem::remove(path + ".quarantined");
+    }
+    EXPECT_EQ(store.quarantined(), 3u);
+}
+
+TEST(ResultStoreSuite, MisplacedEntryIsQuarantined)
+{
+    ResultStore store(testDir("misplaced"));
+    const ResultKey key = sampleKey();
+    const ResultKey other = sampleKey(999);
+    store.store(key, sampleResult());
+
+    // Simulate a mis-renamed entry: the bytes are valid, but they sit
+    // under another key's path. The embedded key catches it.
+    std::vector<std::uint8_t> raw;
+    ASSERT_TRUE(readFileBytes(store.pathFor(key), raw));
+    atomicWriteFile(store.pathFor(other), raw);
+
+    RunResult out;
+    EXPECT_FALSE(store.load(other, out));
+    EXPECT_EQ(store.quarantined(), 1u);
+    ASSERT_TRUE(store.load(key, out)); // the rightful entry is untouched
+}
+
+TEST(ResultStoreSuite, SchemaVersionSkewIsCleanMissNotQuarantine)
+{
+    ResultStore store(testDir("schema"));
+    const ResultKey key = sampleKey();
+    store.store(key, sampleResult());
+
+    // Patch the schema-version field (offset 8, little-endian u32).
+    const std::string path = store.pathFor(key);
+    std::vector<std::uint8_t> raw;
+    ASSERT_TRUE(readFileBytes(path, raw));
+    raw[8] = static_cast<std::uint8_t>(resultSchemaVersion + 1);
+    atomicWriteFile(path, raw);
+
+    RunResult out;
+    EXPECT_FALSE(store.load(key, out));
+    EXPECT_EQ(store.quarantined(), 0u); // stale, not damaged
+    EXPECT_TRUE(std::filesystem::exists(path)); // left for inspection
+
+    // A current-schema store() overwrites the stale slot in place.
+    store.store(key, sampleResult());
+    ASSERT_TRUE(store.load(key, out));
+}
+
+TEST(ResultStoreSuite, TornWriteLeavesNoPartialEntry)
+{
+    ResultStore store(testDir("torn"));
+    const ResultKey key = sampleKey();
+
+    // Kill a writer mid-write (in a forked child, as the process sweep
+    // would): the entry path must stay absent — all-or-nothing.
+    ::fflush(nullptr);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        setAtomicWriteKillAfter(24);
+        ResultStore child(store.dir());
+        child.store(key, sampleResult()); // _Exit(9)s inside the write
+        std::_Exit(0);                    // not reached
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), 9);
+
+    EXPECT_FALSE(std::filesystem::exists(store.pathFor(key)));
+    RunResult out;
+    EXPECT_FALSE(store.load(key, out)); // clean miss, nothing quarantined
+    EXPECT_EQ(store.quarantined(), 0u);
+
+    // The slot still works after the torn write.
+    store.store(key, sampleResult());
+    EXPECT_TRUE(store.load(key, out));
+}
+
+TEST(ResultStoreSuite, ConcurrentWritersOnOneKeyStaySafe)
+{
+    const std::string dir = testDir("race");
+    const ResultKey key = sampleKey();
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < 4; t++) {
+        writers.emplace_back([&dir, &key]() {
+            ResultStore s(dir);
+            for (unsigned i = 0; i < 8; i++)
+                s.store(key, sampleResult());
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+
+    ResultStore store(dir);
+    RunResult out;
+    ASSERT_TRUE(store.load(key, out));
+    expectSameResult(sampleResult(), out);
+    // No stray temporaries survive the race.
+    unsigned leftovers = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        if (e.path().string().find(".tmp.") != std::string::npos)
+            leftovers++;
+    }
+    EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(ResultStoreSuite, FromEnvGating)
+{
+    ::unsetenv("ROWSIM_RESULTS");
+    EXPECT_EQ(ResultStore::fromEnv(), nullptr);
+    ::setenv("ROWSIM_RESULTS", "off", 1);
+    EXPECT_EQ(ResultStore::fromEnv(), nullptr);
+    ::setenv("ROWSIM_RESULTS", "on", 1);
+    ::setenv("ROWSIM_RESULTS_DIR", "/tmp/rowsim-res-env", 1);
+    auto store = ResultStore::fromEnv();
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->dir(), "/tmp/rowsim-res-env");
+    ::unsetenv("ROWSIM_RESULTS_DIR");
+    ASSERT_NE(ResultStore::fromEnv(), nullptr);
+    EXPECT_EQ(ResultStore::fromEnv()->dir(), "rowsim-results");
+    ::setenv("ROWSIM_RESULTS", "sideways", 1);
+    EXPECT_THROW(ResultStore::fromEnv(), std::runtime_error);
+    ::unsetenv("ROWSIM_RESULTS");
+}
+
+TEST(ResultStoreSuite, WarmRerunByteIdenticalThroughExperimentLayer)
+{
+    const std::string dir = testDir("warm");
+    ::setenv("ROWSIM_RESULTS", "on", 1);
+    ::setenv("ROWSIM_RESULTS_DIR", dir.c_str(), 1);
+
+    const RunResult cold =
+        runExperiment("pc", eagerConfig(), 8, 30, 1, true);
+    EXPECT_FALSE(cold.fromCache);
+    ASSERT_FALSE(cold.statsJson.empty());
+
+    const RunResult warm =
+        runExperiment("pc", eagerConfig(), 8, 30, 1, true);
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.cycles, cold.cycles);
+    EXPECT_EQ(warm.statsJson, cold.statsJson); // byte-identical
+    expectSameResult(cold, warm);
+
+    // A caller that does not want statsJson gets none, even though the
+    // entry carries it — warm results must match what a cold run with
+    // the same arguments would have returned.
+    const RunResult lean =
+        runExperiment("pc", eagerConfig(), 8, 30, 1, false);
+    EXPECT_TRUE(lean.fromCache);
+    EXPECT_TRUE(lean.statsJson.empty());
+
+    // Different quota: a different key, recomputed.
+    const RunResult other =
+        runExperiment("pc", eagerConfig(), 8, 31, 1, false);
+    EXPECT_FALSE(other.fromCache);
+
+    ::unsetenv("ROWSIM_RESULTS");
+    ::unsetenv("ROWSIM_RESULTS_DIR");
+}
+
+TEST(ResultStoreSuite, StatsOnlyEntryUpgradedWhenStatsWanted)
+{
+    const std::string dir = testDir("upgrade");
+    ::setenv("ROWSIM_RESULTS", "on", 1);
+    ::setenv("ROWSIM_RESULTS_DIR", dir.c_str(), 1);
+
+    // Cold run without stats capture stores a lean entry...
+    const RunResult lean =
+        runExperiment("pc", eagerConfig(), 8, 30, 1, false);
+    EXPECT_FALSE(lean.fromCache);
+
+    // ...which cannot serve a capture_stats caller: that run recomputes
+    // and upgrades the entry in place.
+    const RunResult full =
+        runExperiment("pc", eagerConfig(), 8, 30, 1, true);
+    EXPECT_FALSE(full.fromCache);
+    ASSERT_FALSE(full.statsJson.empty());
+
+    const RunResult warm =
+        runExperiment("pc", eagerConfig(), 8, 30, 1, true);
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.statsJson, full.statsJson);
+
+    ::unsetenv("ROWSIM_RESULTS");
+    ::unsetenv("ROWSIM_RESULTS_DIR");
+}
+
+TEST(ResultStoreSuite, TracedRunsBypassTheStore)
+{
+    const std::string dir = testDir("bypass");
+    const std::string sink = dir + "-trace.log";
+    ::setenv("ROWSIM_RESULTS", "on", 1);
+    ::setenv("ROWSIM_RESULTS_DIR", dir.c_str(), 1);
+    ::setenv("ROWSIM_TRACE", "atomic", 1);
+    ::setenv("ROWSIM_TRACE_FILE", sink.c_str(), 1);
+    Trace::scopeToJob(""); // re-parse the trace env on this thread
+
+    // A traced run must neither store (its entry would shadow the
+    // trace side effects)...
+    const RunResult first = runExperiment("pc", eagerConfig(), 8, 30, 1);
+    EXPECT_FALSE(first.fromCache);
+    EXPECT_FALSE(std::filesystem::exists(dir)); // no entry was written
+
+    // ...nor load: even against a populated store, a traced rerun
+    // simulates so the trace actually happens.
+    ::unsetenv("ROWSIM_TRACE");
+    ::unsetenv("ROWSIM_TRACE_FILE");
+    Trace::scopeToJob("");
+    const RunResult stored = runExperiment("pc", eagerConfig(), 8, 30, 1);
+    EXPECT_FALSE(stored.fromCache);
+    EXPECT_TRUE(std::filesystem::exists(dir));
+    ::setenv("ROWSIM_TRACE", "atomic", 1);
+    ::setenv("ROWSIM_TRACE_FILE", sink.c_str(), 1);
+    Trace::scopeToJob("");
+    const RunResult traced = runExperiment("pc", eagerConfig(), 8, 30, 1);
+    EXPECT_FALSE(traced.fromCache);
+    EXPECT_EQ(traced.cycles, stored.cycles);
+
+    ::unsetenv("ROWSIM_TRACE");
+    ::unsetenv("ROWSIM_TRACE_FILE");
+    ::unsetenv("ROWSIM_RESULTS");
+    ::unsetenv("ROWSIM_RESULTS_DIR");
+    Trace::scopeToJob("");
+    std::filesystem::remove(sink);
+}
+
+TEST(ResultStoreSuite, CrashDumpsCarryTheJobSuffix)
+{
+    const std::string base = strprintf("/tmp/rowsim-crash-%ld.json",
+                                       static_cast<long>(::getpid()));
+    const std::string suffixed = strprintf("/tmp/rowsim-crash-%ld.j7.json",
+                                           static_cast<long>(::getpid()));
+    std::filesystem::remove(base);
+    std::filesystem::remove(suffixed);
+    ::setenv("ROWSIM_CRASH_JSON", base.c_str(), 1);
+
+    Trace::scopeToJob("j7");
+    SystemParams sp = makeParams(eagerConfig(), 2, 1);
+    System sys(sp, makeStreams(profileFor("pc"), 2, 1));
+    sys.dumpCrashDiagnostics("suffix test");
+    Trace::scopeToJob("");
+    ::unsetenv("ROWSIM_CRASH_JSON");
+
+    // The dump landed at the job-suffixed path, not the shared one.
+    EXPECT_TRUE(std::filesystem::exists(suffixed));
+    EXPECT_FALSE(std::filesystem::exists(base));
+    std::filesystem::remove(suffixed);
+}

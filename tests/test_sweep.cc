@@ -112,7 +112,7 @@ TEST(Sweep, MatchesDirectRunExperiment)
     EXPECT_EQ(viaSweep[0].statsJson, direct.statsJson);
 }
 
-TEST(Sweep, FirstErrorInSubmissionOrderIsRethrown)
+TEST(Sweep, StrictModeRethrowsFirstErrorInSubmissionOrder)
 {
     std::vector<SweepJob> jobs;
     SweepJob good;
@@ -125,7 +125,43 @@ TEST(Sweep, FirstErrorInSubmissionOrderIsRethrown)
     bad.workload = "no-such-workload";
     jobs.push_back(bad);
     jobs.push_back(good);
-    EXPECT_THROW(SweepEngine(2).run(jobs), std::runtime_error);
+    SweepOptions strict;
+    strict.threads = 2;
+    strict.strict = true;
+    EXPECT_THROW(SweepEngine(strict).run(jobs), std::runtime_error);
+}
+
+TEST(Sweep, ErrorsCapturedPerJobWithoutAborting)
+{
+    std::vector<SweepJob> jobs;
+    SweepJob good;
+    good.workload = "canneal";
+    good.cfg = eagerConfig();
+    good.numCores = 8;
+    good.quota = 20;
+    jobs.push_back(good);
+    SweepJob bad = good;
+    bad.workload = "no-such-workload";
+    jobs.push_back(bad);
+    jobs.push_back(good);
+
+    // Default mode: the failed job is reported in place, the rest of
+    // the sweep completes.
+    std::vector<RunResult> results = SweepEngine(2).run(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_GT(results[0].cycles, 0u);
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].status, RunStatus::Failed);
+    EXPECT_EQ(results[1].workload, "no-such-workload");
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_TRUE(results[2].ok());
+    EXPECT_GT(results[2].cycles, 0u);
+
+    // The failure rides along in the JSON report; ok lines stay clean.
+    EXPECT_NE(results[1].toJson().find("\"status\":\"failed\""),
+              std::string::npos);
+    EXPECT_EQ(results[0].toJson().find("\"status\""), std::string::npos);
 }
 
 TEST(Sweep, DefaultThreadsHonoursEnvOverride)
@@ -137,4 +173,109 @@ TEST(Sweep, DefaultThreadsHonoursEnvOverride)
     EXPECT_EQ(SweepEngine::defaultThreads(), 1u);
     ::unsetenv("ROWSIM_SWEEP_THREADS");
     EXPECT_GE(SweepEngine::defaultThreads(), 1u);
+}
+
+TEST(Sweep, OptionsFromEnv)
+{
+    ::setenv("ROWSIM_SWEEP_ISOLATE", "process", 1);
+    ::setenv("ROWSIM_SWEEP_TIMEOUT_MS", "1234", 1);
+    ::setenv("ROWSIM_SWEEP_RETRIES", "2", 1);
+    ::setenv("ROWSIM_SWEEP_BACKOFF_MS", "7", 1);
+    SweepOptions o = SweepOptions::fromEnv();
+    EXPECT_EQ(o.isolation, SweepIsolation::Process);
+    EXPECT_EQ(o.timeoutMs, 1234u);
+    EXPECT_EQ(o.retries, 2u);
+    EXPECT_EQ(o.backoffMs, 7u);
+    EXPECT_FALSE(o.strict);
+    ::unsetenv("ROWSIM_SWEEP_ISOLATE");
+    ::unsetenv("ROWSIM_SWEEP_TIMEOUT_MS");
+    ::unsetenv("ROWSIM_SWEEP_RETRIES");
+    ::unsetenv("ROWSIM_SWEEP_BACKOFF_MS");
+    EXPECT_EQ(SweepOptions::fromEnv().isolation, SweepIsolation::Thread);
+}
+
+TEST(Sweep, ProcessIsolationBitIdenticalToThreaded)
+{
+    std::vector<SweepJob> jobs;
+    for (const char *w : {"pc", "cq", "tpcc"}) {
+        SweepJob j;
+        j.workload = w;
+        j.cfg = w[0] == 'p' ? eagerConfig() : lazyConfig();
+        j.numCores = 8;
+        j.quota = 40;
+        j.captureStatsJson = true;
+        jobs.push_back(std::move(j));
+    }
+    std::vector<RunResult> threaded = SweepEngine(2).run(jobs);
+
+    SweepOptions iso;
+    iso.threads = 2;
+    iso.isolation = SweepIsolation::Process;
+    std::vector<RunResult> isolated = SweepEngine(iso).run(jobs);
+
+    ASSERT_EQ(isolated.size(), jobs.size());
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        ASSERT_TRUE(isolated[k].ok()) << isolated[k].error;
+        EXPECT_EQ(isolated[k].cycles, threaded[k].cycles) << k;
+        EXPECT_EQ(isolated[k].statsJson, threaded[k].statsJson)
+            << jobs[k].workload;
+    }
+}
+
+TEST(Sweep, ProcessIsolationToleratesCrashAndHang)
+{
+    SweepJob good;
+    good.workload = "canneal";
+    good.cfg = eagerConfig();
+    good.numCores = 8;
+    good.quota = 20;
+
+    std::vector<SweepJob> jobs;
+    jobs.push_back(good);
+    SweepJob crash = good;
+    crash.injectCrash = true;
+    jobs.push_back(crash);
+    SweepJob hang = good;
+    hang.injectHangMs = 60000;
+    jobs.push_back(hang);
+    jobs.push_back(good);
+
+    SweepOptions iso;
+    iso.threads = 4;
+    iso.isolation = SweepIsolation::Process;
+    iso.timeoutMs = 1500;
+    iso.retries = 1;
+    iso.backoffMs = 10;
+    std::vector<RunResult> results = SweepEngine(iso).run(jobs);
+
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_TRUE(results[3].ok());
+    EXPECT_EQ(results[0].cycles, results[3].cycles);
+
+    EXPECT_EQ(results[1].status, RunStatus::Crashed);
+    EXPECT_EQ(results[1].attempts, 2u); // retried once, then gave up
+    EXPECT_FALSE(results[1].error.empty());
+
+    EXPECT_EQ(results[2].status, RunStatus::TimedOut);
+    EXPECT_EQ(results[2].attempts, 2u);
+}
+
+TEST(Sweep, ProcessIsolationReportsCleanFailureWithoutRetry)
+{
+    SweepJob bad;
+    bad.workload = "no-such-workload";
+    bad.cfg = eagerConfig();
+    bad.numCores = 8;
+    bad.quota = 20;
+
+    SweepOptions iso;
+    iso.isolation = SweepIsolation::Process;
+    iso.retries = 3; // must NOT be spent on a deterministic failure
+    iso.backoffMs = 10;
+    std::vector<RunResult> results = SweepEngine(iso).run({bad});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, RunStatus::Failed);
+    EXPECT_EQ(results[0].attempts, 1u);
+    EXPECT_FALSE(results[0].error.empty());
 }

@@ -23,12 +23,19 @@ Subcommands:
                                 conservation (segments exactly tile
                                 dispatch->commit for every retained span
                                 and in aggregate), latency histograms.
+  store-schema PATH             content-addressed result-store entry
+                                (.res file) or a store directory: magic,
+                                schema version, embedded key vs file
+                                name, payload length, SHA-256 trailer.
   selftest                      run the built-in unit tests.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 """
 
+import hashlib
 import json
+import os
+import struct
 import sys
 
 PROFILE_CPI_BUCKETS = {
@@ -192,6 +199,70 @@ def validate_span_records(lines):
     return n
 
 
+RES_MAGIC = b"ROWRES\x00\x00"
+RES_HEADER_LEN = 8 + 4 + 32 + 8  # magic + version + key + payload length
+RES_TRAILER_LEN = 32             # SHA-256 of the payload
+
+
+def validate_store_entry(data, name=None):
+    """Validate one result-store container (src/sim/resultstore.cc).
+
+    Layout: magic, u32-LE schema version, 32-byte SHA-256 key, u64-LE
+    payload length, payload, SHA-256(payload) trailer. When *name* is
+    given it must be `<key hex>.res` — the content addressing itself.
+    Returns the entry's schema version.
+    """
+    if len(data) < RES_HEADER_LEN + RES_TRAILER_LEN:
+        raise ValidationError(
+            f"entry is {len(data)} bytes, smaller than the "
+            f"{RES_HEADER_LEN + RES_TRAILER_LEN}-byte envelope")
+    if data[:8] != RES_MAGIC:
+        raise ValidationError(f"bad magic {data[:8]!r}")
+    (version,) = struct.unpack_from("<I", data, 8)
+    if version == 0:
+        raise ValidationError("schema version 0 is reserved")
+    key = data[12:44]
+    (payload_len,) = struct.unpack_from("<Q", data, 44)
+    if len(data) != RES_HEADER_LEN + payload_len + RES_TRAILER_LEN:
+        raise ValidationError(
+            f"payload length {payload_len} does not match file size "
+            f"{len(data)}")
+    payload = data[RES_HEADER_LEN:RES_HEADER_LEN + payload_len]
+    if hashlib.sha256(payload).digest() != data[-RES_TRAILER_LEN:]:
+        raise ValidationError("payload SHA-256 does not match trailer")
+    if name is not None and name != key.hex() + ".res":
+        raise ValidationError(
+            f"file name {name} does not match embedded key "
+            f"{key.hex()[:16]}...")
+    return version
+
+
+def validate_store(path):
+    """Validate a single .res entry or every entry in a store directory.
+
+    Returns (entries, versions) where versions is the set of schema
+    versions seen. Quarantined entries (damage already detected and set
+    aside by the simulator) are ignored; a directory with no valid
+    entries is an error.
+    """
+    if os.path.isdir(path):
+        names = sorted(n for n in os.listdir(path) if n.endswith(".res"))
+        if not names:
+            raise ValidationError(f"{path}: no .res entries")
+    else:
+        names = [os.path.basename(path)]
+        path = os.path.dirname(path) or "."
+    versions = set()
+    for name in names:
+        with open(os.path.join(path, name), "rb") as f:
+            data = f.read()
+        try:
+            versions.add(validate_store_entry(data, name))
+        except ValidationError as e:
+            raise ValidationError(f"{name}: {e}")
+    return len(names), versions
+
+
 def _selftest():
     import copy
     import unittest
@@ -242,7 +313,46 @@ def _selftest():
                                 "aqWait": 2, "execute": 4, "l1Miss": 12,
                                 "unblockWait": 0, "lockHeld": 5}}]}})
 
+    def make_store_entry(payload=b"result-bytes", version=1):
+        key = hashlib.sha256(b"some key preimage").digest()
+        data = (RES_MAGIC + struct.pack("<I", version) + key
+                + struct.pack("<Q", len(payload)) + payload
+                + hashlib.sha256(payload).digest())
+        return key.hex() + ".res", data
+
     class SelfTest(unittest.TestCase):
+        def test_store_accepts_good_entry(self):
+            name, data = make_store_entry()
+            self.assertEqual(validate_store_entry(data, name), 1)
+
+        def test_store_rejects_bad_magic(self):
+            name, data = make_store_entry()
+            with self.assertRaisesRegex(ValidationError, "magic"):
+                validate_store_entry(b"ROWRUINS" + data[8:], name)
+
+        def test_store_rejects_truncation(self):
+            name, data = make_store_entry()
+            for cut in (5, RES_HEADER_LEN, len(data) - 1):
+                with self.assertRaises(ValidationError):
+                    validate_store_entry(data[:cut], name)
+
+        def test_store_rejects_bit_flip(self):
+            name, data = make_store_entry()
+            flipped = bytearray(data)
+            flipped[RES_HEADER_LEN] ^= 0x01
+            with self.assertRaisesRegex(ValidationError, "SHA-256"):
+                validate_store_entry(bytes(flipped), name)
+
+        def test_store_rejects_misnamed_entry(self):
+            _, data = make_store_entry()
+            with self.assertRaisesRegex(ValidationError, "name"):
+                validate_store_entry(data, "00" * 32 + ".res")
+
+        def test_store_rejects_version_zero(self):
+            name, data = make_store_entry(version=0)
+            with self.assertRaisesRegex(ValidationError, "version"):
+                validate_store_entry(data, name)
+
         def test_perf_schema_accepts_good(self):
             self.assertEqual(validate_perf_schema(good_perf), 2)
 
@@ -369,6 +479,11 @@ def main(argv):
             with open(argv[2]) as f:
                 n = validate_span_records(f)
             print(f"span schema ok: {n} records")
+            return 0
+        if cmd == "store-schema":
+            n, versions = validate_store(argv[2])
+            vers = ", ".join(str(v) for v in sorted(versions))
+            print(f"store schema ok: {n} entries (schema version {vers})")
             return 0
     except ValidationError as e:
         print(f"ci_validate: {cmd}: {e}", file=sys.stderr)

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * rowsim_sweep: fault-tolerant, resumable figure sweeps.
+ *
+ * Runs the full job matrix behind a figure (fig06 latency breakdown,
+ * fig09 normalized-performance bars) through the SweepEngine, with the
+ * content-addressed result store turned on so the sweep is an
+ * incremental query: jobs whose key already has a valid entry are
+ * served from disk, everything else is computed (optionally in isolated
+ * worker processes with a wall-clock timeout and bounded retries) and
+ * persisted for the next invocation. A crashing or hanging job never
+ * takes the sweep down — it is reported in place and the rest
+ * completes.
+ *
+ * Typical flow:
+ *   rowsim_sweep --store results/ fig09          # cold: compute + fill
+ *   rowsim_sweep --store results/ fig09          # warm: seconds, not hours
+ *   rowsim_sweep --store results/ --resume fig09 # recompute only holes
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/profiles.hh"
+#include "sim/resultstore.hh"
+#include "sim/sweep.hh"
+
+using namespace rowsim;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string figure;
+    std::string storeDir;    ///< non-empty once --store is given
+    bool useStore = false;
+    bool resume = false;
+    bool list = false;
+    bool expectCached = false;
+    std::string reportPath;
+    long injectCrash = -1;
+    long injectHang = -1;
+    SweepOptions sweep = SweepOptions::fromEnv();
+};
+
+void
+usage(FILE *out)
+{
+    std::fprintf(out,
+        "usage: rowsim_sweep [options] <fig06|fig09>\n"
+        "\n"
+        "Run a figure's full job matrix as a fault-tolerant, resumable\n"
+        "sweep backed by the content-addressed result store.\n"
+        "\n"
+        "  --store DIR          enable the result store rooted at DIR\n"
+        "                       (sets ROWSIM_RESULTS=on, ROWSIM_RESULTS_DIR)\n"
+        "  --resume             serve stored results without dispatching;\n"
+        "                       only missing/invalid entries are computed\n"
+        "  --jobs N             worker count (default: cores, or\n"
+        "                       ROWSIM_SWEEP_THREADS)\n"
+        "  --isolate MODE       thread | process (default thread, or\n"
+        "                       ROWSIM_SWEEP_ISOLATE)\n"
+        "  --timeout MS         per-job wall-clock budget (process mode)\n"
+        "  --retries N          retry budget for crashed/timed-out jobs\n"
+        "  --backoff MS         base retry backoff (doubles per attempt)\n"
+        "  --strict             fail fast: abort the sweep on any failure\n"
+        "  --report PATH        append one JSON line per result (- = stdout)\n"
+        "  --list               print the job matrix and exit\n"
+        "  --expect-cached      exit 1 if any job had to be recomputed\n"
+        "  --inject-crash IDX   fault drill: job IDX aborts mid-run\n"
+        "  --inject-hang IDX    fault drill: job IDX hangs (needs --timeout)\n");
+}
+
+std::uint64_t
+parseNum(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (!end || *end != '\0')
+        ROWSIM_FATAL("rowsim_sweep: %s expects a number, got \"%s\"", flag, value);
+    return v;
+}
+
+/** The job matrix behind one figure. */
+std::vector<SweepJob>
+jobsFor(const std::string &figure)
+{
+    std::vector<SweepJob> jobs;
+    if (figure == "fig09") {
+        // Fig. 9: every policy bar for every atomic-intensive workload,
+        // full stats captured so downstream plotting can drill in.
+        for (const std::string &w : atomicIntensiveWorkloads()) {
+            for (const ExpConfig &cfg : fig9Configs()) {
+                SweepJob j;
+                j.workload = w;
+                j.cfg = cfg;
+                j.numCores = 32;
+                j.seed = 1;
+                j.captureStatsJson = true;
+                jobs.push_back(std::move(j));
+            }
+        }
+    } else if (figure == "fig06") {
+        // Fig. 6: eager vs lazy atomic-phase latency breakdown; the
+        // tail percentiles need the "pcs" profiler category.
+        for (const std::string &w : atomicIntensiveWorkloads()) {
+            for (ExpConfig cfg : {eagerConfig(), lazyConfig()}) {
+                cfg.profile = "pcs";
+                cfg.label += "+prof";
+                SweepJob j;
+                j.workload = w;
+                j.cfg = std::move(cfg);
+                j.numCores = 32;
+                j.seed = 1;
+                jobs.push_back(std::move(j));
+            }
+        }
+    } else {
+        ROWSIM_FATAL("rowsim_sweep: unknown figure \"%s\" (want fig06 or fig09)",
+              figure.c_str());
+    }
+    return jobs;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions o;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                ROWSIM_FATAL("rowsim_sweep: %s needs an argument", flag);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (arg == "--store") {
+            o.useStore = true;
+            o.storeDir = next("--store");
+        } else if (arg == "--resume") {
+            o.resume = true;
+        } else if (arg == "--jobs") {
+            o.sweep.threads =
+                static_cast<unsigned>(parseNum("--jobs", next("--jobs")));
+        } else if (arg == "--isolate") {
+            const std::string mode = next("--isolate");
+            if (mode == "thread")
+                o.sweep.isolation = SweepIsolation::Thread;
+            else if (mode == "process")
+                o.sweep.isolation = SweepIsolation::Process;
+            else
+                ROWSIM_FATAL("rowsim_sweep: --isolate wants thread|process, "
+                      "got \"%s\"", mode.c_str());
+        } else if (arg == "--timeout") {
+            o.sweep.timeoutMs = parseNum("--timeout", next("--timeout"));
+        } else if (arg == "--retries") {
+            o.sweep.retries = static_cast<unsigned>(
+                parseNum("--retries", next("--retries")));
+        } else if (arg == "--backoff") {
+            o.sweep.backoffMs = parseNum("--backoff", next("--backoff"));
+        } else if (arg == "--strict") {
+            o.sweep.strict = true;
+        } else if (arg == "--report") {
+            o.reportPath = next("--report");
+        } else if (arg == "--list") {
+            o.list = true;
+        } else if (arg == "--expect-cached") {
+            o.expectCached = true;
+        } else if (arg == "--inject-crash") {
+            o.injectCrash = static_cast<long>(
+                parseNum("--inject-crash", next("--inject-crash")));
+        } else if (arg == "--inject-hang") {
+            o.injectHang = static_cast<long>(
+                parseNum("--inject-hang", next("--inject-hang")));
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(stderr);
+            ROWSIM_FATAL("rowsim_sweep: unknown option \"%s\"", arg.c_str());
+        } else if (o.figure.empty()) {
+            o.figure = arg;
+        } else {
+            ROWSIM_FATAL("rowsim_sweep: more than one figure given "
+                  "(\"%s\" and \"%s\")", o.figure.c_str(), arg.c_str());
+        }
+    }
+    if (o.figure.empty() && !o.list) {
+        usage(stderr);
+        ROWSIM_FATAL("rowsim_sweep: no figure given");
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parseArgs(argc, argv);
+
+    // Wire the store through the environment so isolated worker
+    // processes (fork) and the in-process experiment layer see the same
+    // configuration.
+    if (opt.useStore) {
+        ::setenv("ROWSIM_RESULTS", "on", 1);
+        ::setenv("ROWSIM_RESULTS_DIR", opt.storeDir.c_str(), 1);
+    }
+
+    std::vector<SweepJob> jobs = jobsFor(opt.figure);
+    if (opt.injectCrash >= 0) {
+        if (static_cast<std::size_t>(opt.injectCrash) >= jobs.size())
+            ROWSIM_FATAL("rowsim_sweep: --inject-crash %ld out of range (%zu jobs)",
+                  opt.injectCrash, jobs.size());
+        jobs[static_cast<std::size_t>(opt.injectCrash)].injectCrash = true;
+    }
+    if (opt.injectHang >= 0) {
+        if (static_cast<std::size_t>(opt.injectHang) >= jobs.size())
+            ROWSIM_FATAL("rowsim_sweep: --inject-hang %ld out of range (%zu jobs)",
+                  opt.injectHang, jobs.size());
+        jobs[static_cast<std::size_t>(opt.injectHang)].injectHangMs =
+            10 * 60 * 1000; // well past any sane --timeout
+    }
+
+    if (opt.list) {
+        std::printf("%-4s %-12s %-24s %5s %4s\n", "idx", "workload",
+                    "config", "cores", "seed");
+        for (std::size_t i = 0; i < jobs.size(); i++)
+            std::printf("%-4zu %-12s %-24s %5u %4llu\n", i,
+                        jobs[i].workload.c_str(), jobs[i].cfg.label.c_str(),
+                        jobs[i].numCores,
+                        static_cast<unsigned long long>(jobs[i].seed));
+        return 0;
+    }
+
+    // --resume: answer as much of the query as possible straight from
+    // the store, and only dispatch the holes (missing, quarantined, or
+    // schema-stale entries) to the engine.
+    std::vector<RunResult> results(jobs.size());
+    std::vector<bool> served(jobs.size(), false);
+    std::size_t precached = 0;
+    std::unique_ptr<ResultStore> store = ResultStore::fromEnv();
+    if (opt.resume && store) {
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            const SweepJob &j = jobs[i];
+            if (j.injectCrash || j.injectHangMs)
+                continue; // fault drills must actually run
+            const std::uint64_t quota =
+                j.quota ? j.quota : defaultQuota(j.workload);
+            const ResultKey key = ResultStore::keyFor(
+                makeParams(j.cfg, j.numCores, j.seed), j.workload,
+                j.cfg.label, quota);
+            RunResult cached;
+            if (store->load(key, cached) &&
+                (!j.captureStatsJson || !cached.statsJson.empty())) {
+                cached.fromCache = true;
+                results[i] = std::move(cached);
+                served[i] = true;
+                precached++;
+            }
+        }
+    }
+
+    std::vector<SweepJob> pending;
+    std::vector<std::size_t> pendingIdx;
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        if (!served[i]) {
+            pending.push_back(jobs[i]);
+            pendingIdx.push_back(i);
+        }
+    }
+
+    std::printf("rowsim_sweep: %s, %zu jobs (%zu from store, %zu to run), "
+                "%s isolation\n",
+                opt.figure.c_str(), jobs.size(), precached, pending.size(),
+                opt.sweep.isolation == SweepIsolation::Process ? "process"
+                                                               : "thread");
+    std::fflush(stdout);
+
+    if (!pending.empty()) {
+        std::vector<RunResult> ran = SweepEngine(opt.sweep).run(pending);
+        for (std::size_t k = 0; k < pendingIdx.size(); k++)
+            results[pendingIdx[k]] = std::move(ran[k]);
+    }
+
+    std::size_t okCount = 0, cachedCount = 0, failedCount = 0;
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const RunResult &r = results[i];
+        if (r.ok())
+            okCount++;
+        else
+            failedCount++;
+        if (r.fromCache)
+            cachedCount++;
+        if (r.ok()) {
+            std::printf("[%3zu] %-12s %-24s ok%s  cycles=%llu\n", i,
+                        r.workload.c_str(), r.config.c_str(),
+                        r.fromCache ? " (cached)" : "",
+                        static_cast<unsigned long long>(r.cycles));
+        } else {
+            std::printf("[%3zu] %-12s %-24s %s after %u attempt%s: %s\n", i,
+                        r.workload.c_str(), r.config.c_str(),
+                        runStatusName(r.status), r.attempts,
+                        r.attempts == 1 ? "" : "s", r.error.c_str());
+        }
+        if (!opt.reportPath.empty())
+            writeRunReport(r, opt.reportPath);
+    }
+    std::printf("rowsim_sweep: %zu ok (%zu cached), %zu failed\n", okCount,
+                cachedCount, failedCount);
+
+    if (opt.expectCached && cachedCount != results.size()) {
+        std::fprintf(stderr,
+                     "rowsim_sweep: --expect-cached but %zu of %zu jobs "
+                     "were recomputed\n",
+                     results.size() - cachedCount, results.size());
+        return 1;
+    }
+    return failedCount == 0 ? 0 : 1;
+}
