@@ -96,6 +96,17 @@ renderEntry(const std::vector<Sample> &samples)
     std::snprintf(buf, sizeof(buf), "      \"results\": \"%s\",\n",
                   results && *results ? results : "off");
     e += buf;
+    // Live telemetry (ROWSIM_TS / ROWSIM_HEARTBEAT): the time-series
+    // engine samples every stats interval and the heartbeat writes
+    // progress lines. Neither may move sim_cycles; the wall_ms delta
+    // between an off/on entry pair is the probe overhead.
+    const char *ts = std::getenv("ROWSIM_TS");
+    const char *hb = std::getenv("ROWSIM_HEARTBEAT");
+    const char *telemetry = ts && *ts ? (hb && *hb ? "ts+heartbeat" : "ts")
+                                      : (hb && *hb ? "heartbeat" : "off");
+    std::snprintf(buf, sizeof(buf), "      \"telemetry\": \"%s\",\n",
+                  telemetry);
+    e += buf;
     std::snprintf(buf, sizeof(buf), "      \"build\": \"%s\"\n",
 #ifdef NDEBUG
                   "release"

@@ -229,6 +229,22 @@ struct SystemParams
      *  synonyms; empty = the ROWSIM_SPANS env var, or off). Re-applied
      *  on every System construction, like profileCategories. */
     std::string spans;
+
+    // ---- metric time series & convergence (src/common/timeseries.hh) ----
+
+    /** Metric time-series engine over the interval probes: "on"/"off"
+     *  (and 0/1/yes/no synonyms; empty = the ROWSIM_TS env var, or
+     *  off). Re-applied on every System construction, like
+     *  profileCategories. When on with no interval period configured, a
+     *  default period of 8192 cycles is used. */
+    std::string timeseries;
+    /** Convergence-bounded run: "<metric>:<rel_halfwidth>[:<confidence>]"
+     *  (empty = the ROWSIM_CONVERGE env var, or off). Implies the
+     *  time-series engine. The run stops at the first interval boundary
+     *  where the metric's batch-means CI half-width, relative to its
+     *  mean, is <= rel_halfwidth at the given confidence (default
+     *  0.95); the iteration quota stays the upper bound. */
+    std::string converge;
 };
 
 } // namespace rowsim

@@ -325,6 +325,13 @@ IntervalStats::sample(Cycle now)
         while (nextAt_ <= now)
             nextAt_ += period_;
     }
+    if (observer_) {
+        std::vector<double> vals;
+        vals.reserve(probes_.size());
+        for (const auto &ser : series_)
+            vals.push_back(ser.back());
+        observer_(now, vals);
+    }
 }
 
 void

@@ -217,6 +217,15 @@ class IntervalStats
     void addProbe(std::string name, std::function<double()> read,
                   bool delta = false);
 
+    /** Observer invoked after each sample with the sample cycle and the
+     *  recorded per-probe values (delta-adjusted, in probe order) — the
+     *  feed of the metric time-series engine (common/timeseries.hh). */
+    void setObserver(
+        std::function<void(Cycle, const std::vector<double> &)> obs)
+    {
+        observer_ = std::move(obs);
+    }
+
     /** Called once per cycle; samples when a period boundary passes. */
     void
     tick(Cycle now)
@@ -254,6 +263,7 @@ class IntervalStats
     std::vector<Probe> probes_;
     std::vector<Cycle> cycles_;
     std::vector<std::vector<double>> series_;
+    std::function<void(Cycle, const std::vector<double> &)> observer_;
 };
 
 /**

@@ -1,11 +1,14 @@
 #include "sim/experiment.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <mutex>
+
+#include "common/heartbeat.hh"
 
 #include "common/log.hh"
 #include "common/trace.hh"
@@ -69,6 +72,18 @@ RunResult::toJson() const
         static_cast<unsigned long long>(lazyIssued));
     if (!spanJson.empty())
         j += ",\"spans\":" + spanJson;
+    if (!tsJson.empty())
+        j += ",\"timeseries\":" + tsJson;
+    if (!convergeMetric.empty()) {
+        j += strprintf(
+            ",\"converge\":{\"metric\":\"%s\",\"target\":%.6g,"
+            "\"confidence\":%.6g,\"achieved\":%s,\"converged\":%s}",
+            convergeMetric.c_str(), convergeTarget, convergeConfidence,
+            std::isfinite(convergeAchieved)
+                ? strprintf("%.6g", convergeAchieved).c_str()
+                : "null",
+            converged ? "true" : "false");
+    }
     // Failure fields only when there is a failure: ok-run report lines
     // keep their historical byte layout.
     if (status != RunStatus::Ok) {
@@ -201,6 +216,8 @@ makeParams(const ExpConfig &cfg, unsigned num_cores, std::uint64_t seed)
     sp.core.row.localityPromotion = cfg.localityPromotion;
     sp.profileCategories = cfg.profile;
     sp.spans = cfg.spans;
+    sp.timeseries = cfg.timeseries;
+    sp.converge = cfg.converge;
     return sp;
 }
 
@@ -345,8 +362,17 @@ runMaybeCheckpointed(System &sys, const std::string &workload,
     }
     if (sys.profiler() && sys.profiler()->active()) {
         ROWSIM_WARN("ROWSIM_CKPT ignored: the attribution profiler is "
-                    "active and snapshot format v1 does not carry its "
+                    "active and the snapshot format does not carry its "
                     "state");
+        return sys.run(quota);
+    }
+    if (sys.timeseries() && sys.timeseries()->converge().active) {
+        // A convergence-bounded run can stop before the warmup point,
+        // which would leave a checkpoint that no cold run reproduces;
+        // warmup therefore ignores convergence, and mixing the two
+        // would make the stop cycle depend on ROWSIM_CKPT. Refuse.
+        ROWSIM_WARN("ROWSIM_CKPT ignored: ROWSIM_CONVERGE bounds the "
+                    "run at a data-dependent cycle");
         return sys.run(quota);
     }
 
@@ -452,8 +478,10 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     Trace::initFromEnv();
     std::unique_ptr<ResultStore> store = ResultStore::fromEnv();
     const char *statsSink = std::getenv("ROWSIM_STATS_JSON");
-    const bool bypassStore =
-        (statsSink && *statsSink) || Trace::anyEnabled();
+    // The heartbeat is a live sink like the trace / stats sinks: a
+    // store hit would silently emit no telemetry, so it bypasses too.
+    const bool bypassStore = (statsSink && *statsSink) ||
+                             Trace::anyEnabled() || Heartbeat::enabled();
     ResultKey key{};
     if (store && !bypassStore) {
         key = ResultStore::keyFor(sp, workload, label, quota);
@@ -543,6 +571,16 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
         r.profileJson = prof->toJson();
     if (const SpanTracker *sp = sys.spans(); sp && sp->active())
         r.spanJson = sp->toJson();
+    if (const TimeSeriesEngine *ts = sys.timeseries()) {
+        r.tsJson = ts->toJson();
+        if (ts->converge().active) {
+            r.convergeMetric = ts->converge().metric;
+            r.convergeTarget = ts->converge().relHalfwidth;
+            r.convergeConfidence = ts->converge().confidence;
+            r.convergeAchieved = ts->achievedRelHalfwidth();
+            r.converged = ts->converged();
+        }
+    }
 
     // Persist the completed run before emitting sinks: once stored, a
     // rerun with the same key never simulates again.

@@ -35,6 +35,13 @@ struct ExpConfig
     /** Span tracing for this run ("on"/"off" and synonyms); empty
      *  defers to the ROWSIM_SPANS environment. */
     std::string spans;
+    /** Metric time-series engine ("on"/"off" and synonyms); empty
+     *  defers to the ROWSIM_TS environment. */
+    std::string timeseries;
+    /** Convergence-bounded run spec
+     *  ("<metric>:<rel_halfwidth>[:<confidence>]"); empty defers to the
+     *  ROWSIM_CONVERGE environment. Implies the time-series engine. */
+    std::string converge;
 };
 
 /** Outcome of one run. Anything but Ok means the metric fields are
@@ -124,10 +131,28 @@ struct RunResult
      *  was on (ROWSIM_SPANS / ExpConfig::spans); empty otherwise. */
     std::string spanJson;
 
+    /** TimeSeriesEngine::toJson() of the run — per-metric series,
+     *  online statistics, and batch-means CIs — captured whenever the
+     *  engine was on (ROWSIM_TS / ROWSIM_CONVERGE / ExpConfig); empty
+     *  otherwise. */
+    std::string tsJson;
+
+    /** Convergence-bounded run outcome; meaningful only when a
+     *  convergence spec was active (convergeMetric non-empty). */
+    std::string convergeMetric;
+    double convergeTarget = 0;
+    double convergeConfidence = 0;
+    /** Relative CI half-width of the target metric at the stop cycle
+     *  (or end of quota); +inf prints as null in JSON. */
+    double convergeAchieved = 0;
+    /** True when the run stopped on the CI bound before the quota. */
+    bool converged = false;
+
     /** One-line JSON object with every field above except statsJson and
      *  profileJson (run reports); spanJson rides along as "spans" when
-     *  the run traced spans, and status/error/attempts appear only for
-     *  failed runs (ok-run reports stay byte-identical across
+     *  the run traced spans, tsJson as "timeseries" (plus a "converge"
+     *  object when a spec was active), and status/error/attempts appear
+     *  only for failed runs (ok-run reports stay byte-identical across
      *  versions). */
     std::string toJson() const;
 };

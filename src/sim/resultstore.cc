@@ -8,6 +8,7 @@
 #include "common/io.hh"
 #include "common/log.hh"
 #include "common/sha256.hh"
+#include "common/timeseries.hh"
 #include "sim/profile.hh"
 #include "sim/snapshot.hh"
 #include "sim/span.hh"
@@ -66,10 +67,17 @@ encodeResult(const RunResult &r)
     s.u64(r.forcedUnlocks);
     s.u64(r.eagerIssued);
     s.u64(r.lazyIssued);
+    s.section("converge");
+    s.str(r.convergeMetric);
+    s.f64(r.convergeTarget);
+    s.f64(r.convergeConfidence);
+    s.f64(r.convergeAchieved);
+    s.b(r.converged);
     s.section("blobs");
     s.str(r.statsJson);
     s.str(r.profileJson);
     s.str(r.spanJson);
+    s.str(r.tsJson);
     return s.bytes();
 }
 
@@ -116,10 +124,17 @@ decodeResult(const std::vector<std::uint8_t> &payload)
     r.forcedUnlocks = d.u64();
     r.eagerIssued = d.u64();
     r.lazyIssued = d.u64();
+    d.section("converge");
+    r.convergeMetric = d.str();
+    r.convergeTarget = d.f64();
+    r.convergeConfidence = d.f64();
+    r.convergeAchieved = d.f64();
+    r.converged = d.b();
     d.section("blobs");
     r.statsJson = d.str();
     r.profileJson = d.str();
     r.spanJson = d.str();
+    r.tsJson = d.str();
     d.expectEnd();
     return r;
 }
@@ -170,6 +185,29 @@ ResultStore::keyFor(const SystemParams &params, const std::string &workload,
             interval = parseEnvU64("ROWSIM_STATS_INTERVAL", env);
         }
     }
+    // Time-series / convergence resolution, mirroring
+    // System::setupObservability. The convergence spec is special among
+    // observability knobs: it changes the *results* (the run stops at
+    // the convergence cycle), so it must key the store; the engine
+    // enable and window change what the RunResult contains (tsJson).
+    std::string convSpec = params.converge;
+    if (convSpec.empty()) {
+        if (const char *env = std::getenv("ROWSIM_CONVERGE"); env && *env)
+            convSpec = env;
+    }
+    const ConvergeSpec conv = parseConvergeSpec("ROWSIM_CONVERGE",
+                                                convSpec);
+    std::string tsSpec = params.timeseries;
+    if (tsSpec.empty()) {
+        if (const char *env = std::getenv("ROWSIM_TS"); env && *env)
+            tsSpec = env;
+    }
+    const bool tsOn =
+        conv.active ||
+        (!tsSpec.empty() && parseOnOffSpec("ROWSIM_TS", tsSpec));
+    std::uint64_t tsWindow = TimeSeriesEngine::kDefaultWindow;
+    if (const char *env = std::getenv("ROWSIM_TS_WINDOW"); env && *env)
+        tsWindow = parseEnvU64("ROWSIM_TS_WINDOW", env);
 
     Ser s;
     s.section("rowres-key");
@@ -181,6 +219,12 @@ ResultStore::keyFor(const SystemParams &params, const std::string &workload,
     s.u32(profMask);
     s.b(spansOn);
     s.u64(interval);
+    s.b(tsOn);
+    s.u64(tsOn ? tsWindow : 0);
+    s.b(conv.active);
+    s.str(conv.metric);
+    s.f64(conv.relHalfwidth);
+    s.f64(conv.confidence);
 
     Sha256 h;
     h.update(s.bytes().data(), s.bytes().size());

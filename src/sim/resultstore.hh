@@ -43,8 +43,9 @@ struct SystemParams;
 
 /** Version of the serialized RunResult payload. Bumped on any layout
  *  change; it is part of the key preimage, so a bump turns every old
- *  entry into a clean miss instead of a decode error. */
-constexpr std::uint32_t resultSchemaVersion = 1;
+ *  entry into a clean miss instead of a decode error.
+ *  v2: time-series blob + convergence outcome fields. */
+constexpr std::uint32_t resultSchemaVersion = 2;
 
 /** SHA-256 store key. */
 using ResultKey = std::array<std::uint8_t, 32>;

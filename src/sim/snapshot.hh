@@ -38,8 +38,9 @@ struct Msg;
 struct MicroOp;
 
 /** Current on-disk snapshot format version. Bumped on any incompatible
- *  payload layout change; readers reject other versions by name. */
-constexpr std::uint32_t snapshotFormatVersion = 1;
+ *  payload layout change; readers reject other versions by name.
+ *  v2: the stats pass carries time-series engine state. */
+constexpr std::uint32_t snapshotFormatVersion = 2;
 
 /** Named failure of any snapshot operation: truncated or corrupted
  *  files, format-version skew, configuration mismatch, section drift,

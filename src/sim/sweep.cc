@@ -16,6 +16,7 @@
 #include <csignal>
 #include <unistd.h>
 
+#include "common/heartbeat.hh"
 #include "common/io.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
@@ -150,6 +151,8 @@ SweepEngine::runThreaded(const std::vector<SweepJob> &jobs)
                 nextJob.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
+            Heartbeat::emitJob(i, "started", jobs[i].workload,
+                               jobs[i].cfg.label, 1, nullptr);
             try {
                 if (jobs[i].injectCrash)
                     throw std::runtime_error(
@@ -165,6 +168,9 @@ SweepEngine::runThreaded(const std::vector<SweepJob> &jobs)
                 results[i] = failedResult(jobs[i], RunStatus::Failed,
                                           "unknown exception", 1);
             }
+            Heartbeat::emitJob(i, "finished", jobs[i].workload,
+                               jobs[i].cfg.label, 1,
+                               runStatusName(results[i].status));
         }
     };
 
@@ -240,6 +246,10 @@ SweepEngine::runIsolated(const std::vector<SweepJob> &jobs)
             const bool retryable = status == RunStatus::Crashed ||
                                    status == RunStatus::TimedOut;
             if (retryable && w.number <= opts_.retries) {
+                Heartbeat::emitJob(w.job, "retrying",
+                                   jobs[w.job].workload,
+                                   jobs[w.job].cfg.label, w.number,
+                                   runStatusName(status));
                 // Exponential backoff: transient-looking failures
                 // (OOM-killed worker, a loaded machine tripping the
                 // timeout) get breathing room before the retry.
@@ -258,6 +268,9 @@ SweepEngine::runIsolated(const std::vector<SweepJob> &jobs)
             }
             results[w.job] = failedResult(jobs[w.job], status,
                                           std::move(error), w.number);
+            Heartbeat::emitJob(w.job, "finished", jobs[w.job].workload,
+                               jobs[w.job].cfg.label, w.number,
+                               runStatusName(status));
         }
         std::remove(w.path.c_str());
     };
@@ -281,6 +294,10 @@ SweepEngine::runIsolated(const std::vector<SweepJob> &jobs)
                 if (r.ok()) {
                     results[w.job] = std::move(r);
                     std::remove(w.path.c_str());
+                    Heartbeat::emitJob(w.job, "finished",
+                                       jobs[w.job].workload,
+                                       jobs[w.job].cfg.label, w.number,
+                                       runStatusName(RunStatus::Ok));
                 } else {
                     // The worker failed in-simulator and said why;
                     // deterministic, so never retried.
@@ -357,6 +374,10 @@ SweepEngine::runIsolated(const std::vector<SweepJob> &jobs)
                 std::fflush(nullptr);
                 std::_Exit(code);
             }
+            // Parent. Lifecycle events come from the scheduler, never
+            // from executeJob — the forked worker would duplicate them.
+            Heartbeat::emitJob(a.job, "started", job.workload,
+                               job.cfg.label, a.number, nullptr);
             Worker w;
             w.job = a.job;
             w.number = a.number;
@@ -432,8 +453,25 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
     if (jobs.empty())
         return {};
-    return opts_.isolation == SweepIsolation::Process ? runIsolated(jobs)
-                                                      : runThreaded(jobs);
+    const bool isolated = opts_.isolation == SweepIsolation::Process;
+    const char *iso = isolated ? "process" : "thread";
+    if (Heartbeat::enabled()) {
+        Heartbeat::emitSweep("start", jobs.size(), 0, 0, iso);
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            Heartbeat::emitJob(i, "queued", jobs[i].workload,
+                               jobs[i].cfg.label, 1, nullptr);
+        }
+    }
+    std::vector<RunResult> results =
+        isolated ? runIsolated(jobs) : runThreaded(jobs);
+    if (Heartbeat::enabled()) {
+        std::size_t ok = 0;
+        for (const RunResult &r : results)
+            ok += r.ok() ? 1 : 0;
+        Heartbeat::emitSweep("end", jobs.size(), ok, results.size() - ok,
+                             iso);
+    }
+    return results;
 }
 
 std::vector<RunResult>

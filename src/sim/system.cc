@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/heartbeat.hh"
 #include "common/io.hh"
 #include "common/log.hh"
 #include "common/sha256.hh"
@@ -119,6 +120,28 @@ System::setupObservability()
             period = parseEnvU64("ROWSIM_STATS_INTERVAL", env);
         }
     }
+
+    // Metric time-series engine + convergence monitor. Like the profile
+    // mask, both specs are re-resolved on every System construction
+    // (params override env), so sweep workers never inherit stale
+    // settings. An active convergence spec implies the engine.
+    std::string convSpec = params_.converge;
+    if (convSpec.empty()) {
+        if (const char *env = std::getenv("ROWSIM_CONVERGE"); env && *env)
+            convSpec = env;
+    }
+    const ConvergeSpec conv = parseConvergeSpec("ROWSIM_CONVERGE",
+                                                convSpec);
+    std::string tsSpec = params_.timeseries;
+    if (tsSpec.empty()) {
+        if (const char *env = std::getenv("ROWSIM_TS"); env && *env)
+            tsSpec = env;
+    }
+    const bool tsOn =
+        conv.active ||
+        (!tsSpec.empty() && parseOnOffSpec("ROWSIM_TS", tsSpec));
+    if (tsOn && period == 0)
+        period = 8192; // default cadence when only the engine asked
     intervalStats_.configure(period);
     intervalStats_.addProbe(
         "instructions",
@@ -139,6 +162,40 @@ System::setupObservability()
             return static_cast<double>(totalCounter("atomicsIssuedLazy"));
         },
         true);
+
+    if (tsOn) {
+        unsigned window = TimeSeriesEngine::kDefaultWindow;
+        if (const char *env = std::getenv("ROWSIM_TS_WINDOW");
+            env && *env) {
+            const std::uint64_t w = parseEnvU64("ROWSIM_TS_WINDOW", env);
+            if (w == 0 || w > (1u << 20))
+                ROWSIM_FATAL("bad ROWSIM_TS_WINDOW %llu (valid: 1 .. "
+                             "1048576)",
+                             static_cast<unsigned long long>(w));
+            window = static_cast<unsigned>(w);
+        }
+        ts_ = std::make_unique<TimeSeriesEngine>(period, window, conv);
+        for (const auto &p : intervalStats_.probes())
+            ts_->addMetric(p.name);
+        if (conv.active && !ts_->hasMetric(conv.metric)) {
+            std::string valid;
+            for (const auto &p : intervalStats_.probes())
+                valid += (valid.empty() ? "" : ", ") + p.name;
+            ROWSIM_FATAL("ROWSIM_CONVERGE: unknown metric '%s' (valid: "
+                         "%s)",
+                         conv.metric.c_str(), valid.c_str());
+        }
+        intervalStats_.setObserver(
+            [this](Cycle now, const std::vector<double> &vals) {
+                ts_->observe(now, vals);
+            });
+    }
+
+    // Heartbeat sink: resolved once (env only — a live telemetry path
+    // is process-wide by nature), then polled from the run loop.
+    hbEnabled_ = Heartbeat::enabled();
+    if (hbEnabled_)
+        hbPeriodMs_ = Heartbeat::periodMs();
 
     // Derived whole-system statistics (Formula exercising).
     simStats_.formula("ipc") = [this] {
@@ -343,6 +400,24 @@ System::maybeFastForward()
             for (unsigned b = 0; b < self.mem().numBanks(); b++)
                 addGroup(self.mem().directory(b).stats());
             addGroup(self.mem().network().stats());
+            // Interval samples must land at the same cycles with the
+            // same deltas whether the window is skipped or ticked
+            // through — compare the full series, not just counters.
+            if (intervalStats_.enabled()) {
+                const auto &cyc = intervalStats_.sampleCycles();
+                for (std::size_t i = 0; i < cyc.size(); i++)
+                    s += "interval.cycle=" + std::to_string(cyc[i]) + "\n";
+                const auto &probes = intervalStats_.probes();
+                const auto &series = intervalStats_.series();
+                for (std::size_t p = 0; p < probes.size(); p++) {
+                    for (std::size_t i = 0; i < series[p].size(); i++) {
+                        s += "interval." + probes[p].name + "=" +
+                             std::to_string(series[p][i]) + "\n";
+                    }
+                }
+            }
+            if (ts_)
+                s += ts_->toJson();
             return s;
         };
         const std::string before = dumpAll();
@@ -496,8 +571,18 @@ System::runWarmup(std::uint64_t iter_quota, std::uint64_t warm_iters)
 Cycle
 System::runLoop(std::uint64_t iter_quota, std::uint64_t warm_iters)
 {
+    if (hbEnabled_ && hbStartMs_ == 0) {
+        hbStartMs_ = Heartbeat::wallMs();
+        hbLastCycle_ = currentCycle;
+    }
     while (true) {
         tick();
+        if (hbEnabled_ && currentCycle >= hbNextProbe_) {
+            // Coarse cycle grid keeps the hot loop at one comparison;
+            // the probe itself rate-limits on wall clock.
+            hbNextProbe_ = currentCycle + 4096;
+            heartbeatProbe(iter_quota);
+        }
 
         bool all_done = true;
         for (auto &c : cores) {
@@ -529,6 +614,14 @@ System::runLoop(std::uint64_t iter_quota, std::uint64_t warm_iters)
             if (warm)
                 return currentCycle;
         }
+        // Convergence-bounded run: the flag latches inside the interval
+        // sample (in this very tick), so the stop lands exactly on the
+        // sample cycle — a period multiple, identical with fast-forward
+        // on, off, or check. Cores stay unhalted, like a warmup return;
+        // the quota above remains the upper bound. Warmup runs ignore
+        // convergence so a checkpoint is never cut short.
+        if (!warm_iters && ts_ && ts_->converged())
+            return currentCycle;
         // Deadlock detection lives in watchdogScan() (called from
         // tick()): per-core commit progress plus per-structure ages,
         // so a fire names the stuck component.
@@ -539,6 +632,34 @@ System::runLoop(std::uint64_t iter_quota, std::uint64_t warm_iters)
                 ffBackoff_--;
         }
     }
+}
+
+void
+System::heartbeatProbe(std::uint64_t iter_quota)
+{
+    const std::uint64_t now_ms = Heartbeat::wallMs();
+    if (hbLastMs_ != 0 && now_ms - hbLastMs_ < hbPeriodMs_)
+        return;
+    std::uint64_t iters = 0;
+    for (const auto &c : cores)
+        iters += std::min(c->committedIterations(), iter_quota);
+    const std::uint64_t quota_total =
+        iter_quota * static_cast<std::uint64_t>(cores.size());
+    double kcps = 0;
+    if (hbLastMs_ != 0 && now_ms > hbLastMs_) {
+        // Kcycles/s == simulated cycles per wall-clock ms.
+        kcps = static_cast<double>(currentCycle - hbLastCycle_) /
+               static_cast<double>(now_ms - hbLastMs_);
+    }
+    double eta_ms = -1;
+    if (iters > 0 && quota_total > iters && now_ms > hbStartMs_) {
+        eta_ms = static_cast<double>(now_ms - hbStartMs_) *
+                 static_cast<double>(quota_total - iters) /
+                 static_cast<double>(iters);
+    }
+    Heartbeat::emitRun(currentCycle, iters, quota_total, kcps, eta_ms);
+    hbLastMs_ = now_ms;
+    hbLastCycle_ = currentCycle;
 }
 
 void
@@ -627,6 +748,9 @@ System::saveStats(Ser &s) const
         self.mem().directory(b).stats().save(s);
     self.mem().network().stats().save(s);
     intervalStats_.save(s);
+    s.b(ts_ != nullptr);
+    if (ts_)
+        ts_->save(s);
 }
 
 void
@@ -682,6 +806,15 @@ System::restore(Deser &d)
         mem().directory(b).stats().restore(d);
     mem().network().stats().restore(d);
     intervalStats_.restore(d);
+    const bool had_ts = d.b();
+    if (had_ts != (ts_ != nullptr)) {
+        throw SnapshotError(strprintf(
+            "time-series mismatch: image was taken %s the metric "
+            "time-series engine, this run is %s it",
+            had_ts ? "with" : "without", ts_ ? "with" : "without"));
+    }
+    if (ts_)
+        ts_->restore(d);
 
     d.expectEnd();
     // Span state is never serialized: any span still open crossed the
@@ -1054,6 +1187,12 @@ System::dumpStatsJson(std::FILE *out) const
         std::fprintf(out, "}\n  }");
     }
 
+    // Metric time-series engine (absent — not empty — when off, keeping
+    // the off-mode dump byte-identical to pre-engine builds).
+    if (ts_) {
+        std::fprintf(out, ",\n  \"timeseries\": %s",
+                     ts_->toJson().c_str());
+    }
     // Attribution profiler (absent — not empty — when profiling is off,
     // keeping the off-mode dump byte-identical to pre-profiler builds).
     if (profiler_ && profiler_->active())

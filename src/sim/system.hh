@@ -15,6 +15,7 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/timeseries.hh"
 #include "common/types.hh"
 #include "cpu/core.hh"
 #include "cpu/stream.hh"
@@ -130,6 +131,10 @@ class System
     /** The span tracker; nullptr unless span tracing is enabled. */
     SpanTracker *spans() { return spans_.get(); }
     const SpanTracker *spans() const { return spans_.get(); }
+    /** The metric time-series engine; nullptr unless enabled (ROWSIM_TS
+     *  / SystemParams::timeseries, or implied by ROWSIM_CONVERGE). */
+    TimeSeriesEngine *timeseries() { return ts_.get(); }
+    const TimeSeriesEngine *timeseries() const { return ts_.get(); }
 
     /**
      * Emit the crash diagnostics snapshot: a human-visible marker pair
@@ -192,6 +197,9 @@ class System
     void maybeFastForward();
     /** Apply trace/interval-stats configuration (params + env vars). */
     void setupObservability();
+    /** Heartbeat run-progress probe, entered from runLoop on a coarse
+     *  cycle grid; emits when the wall-clock period elapsed. */
+    void heartbeatProbe(std::uint64_t iter_quota);
     /** Wire the invariant checker and fault injector (params + env). */
     void setupSelfChecking();
     /** Reset the profile mask (params override env, always re-applied)
@@ -246,6 +254,17 @@ class System
 
     IntervalStats intervalStats_;
     StatGroup simStats_{"sim"};
+    std::unique_ptr<TimeSeriesEngine> ts_;
+
+    /** Heartbeat sink state (common/heartbeat.hh). The enable flag is
+     *  resolved once per System; the run loop then pays one comparison
+     *  per tick until the next coarse-grid probe. */
+    bool hbEnabled_ = false;
+    std::uint64_t hbPeriodMs_ = 250;
+    std::uint64_t hbStartMs_ = 0;
+    std::uint64_t hbLastMs_ = 0;
+    Cycle hbLastCycle_ = 0;
+    Cycle hbNextProbe_ = 0;
 };
 
 } // namespace rowsim

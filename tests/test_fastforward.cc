@@ -100,6 +100,31 @@ TEST(FastForward, ForcedOffUnderFaultInjection)
     EXPECT_EQ(off.statsJson, on.statsJson);
 }
 
+TEST(FastForward, IntervalSeriesIdenticalAcrossModes)
+{
+    // A tight sampling period puts many sample points inside would-be
+    // idle windows; fast-forward must land every one of them at the
+    // exact cycle with the exact delta. The time-series engine widens
+    // the comparison from end-of-run counters to the full per-interval
+    // series (cycles, values, Welford state, batch layout, CI) — and
+    // check mode additionally audits the series inside every skipped
+    // window tick-by-tick.
+    ::setenv("ROWSIM_STATS_INTERVAL", "512", 1);
+    ExpConfig cfg = lazyConfig();
+    cfg.timeseries = "on";
+
+    RunResult off = runWithFF("0", "pc", cfg, 60);
+    RunResult on = runWithFF("1", "pc", cfg, 60);
+    RunResult chk = runWithFF("check", "pc", cfg, 60);
+    ::unsetenv("ROWSIM_STATS_INTERVAL");
+
+    ASSERT_NE(off.statsJson.find("\"timeseries\""), std::string::npos);
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.statsJson, on.statsJson);
+    EXPECT_EQ(off.cycles, chk.cycles);
+    EXPECT_EQ(off.statsJson, chk.statsJson);
+}
+
 TEST(FastForward, SkipsActuallyHappenOnIdleWorkloads)
 {
     // Guard against the optimization silently disabling itself: a lazy

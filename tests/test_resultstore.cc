@@ -77,6 +77,12 @@ sampleResult()
     r.statsJson = "{\"sim\":{\"cycles\":123456}}\n";
     r.profileJson = "{\"cpi\":[]}";
     r.spanJson = "{\"count\":0}";
+    r.tsJson = "{\"period\": 2048, \"metrics\": {}}";
+    r.convergeMetric = "instructions";
+    r.convergeTarget = 0.02;
+    r.convergeConfidence = 0.95;
+    r.convergeAchieved = 0.0175;
+    r.converged = true;
     return r;
 }
 
@@ -101,6 +107,12 @@ expectSameResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.statsJson, b.statsJson);
     EXPECT_EQ(a.profileJson, b.profileJson);
     EXPECT_EQ(a.spanJson, b.spanJson);
+    EXPECT_EQ(a.tsJson, b.tsJson);
+    EXPECT_EQ(a.convergeMetric, b.convergeMetric);
+    EXPECT_EQ(a.convergeTarget, b.convergeTarget);
+    EXPECT_EQ(a.convergeConfidence, b.convergeConfidence);
+    EXPECT_EQ(a.convergeAchieved, b.convergeAchieved);
+    EXPECT_EQ(a.converged, b.converged);
 }
 
 ResultKey
@@ -171,6 +183,31 @@ TEST(ResultStoreSuite, KeyReactsToEveryInput)
     prof.profile = "pcs";
     EXPECT_NE(k, ResultStore::keyFor(makeParams(prof, 8, 1), "pc",
                                      "eager", 100));
+    // The time-series engine shapes the RunResult (tsJson), and a
+    // convergence spec changes the simulated stop cycle itself — both
+    // must key the store.
+    ExpConfig ts = eagerConfig();
+    ts.timeseries = "on";
+    const ResultKey kTs =
+        ResultStore::keyFor(makeParams(ts, 8, 1), "pc", "eager", 100);
+    EXPECT_NE(k, kTs);
+    ExpConfig conv = eagerConfig();
+    conv.converge = "instructions:0.05";
+    const ResultKey kConv =
+        ResultStore::keyFor(makeParams(conv, 8, 1), "pc", "eager", 100);
+    EXPECT_NE(k, kConv);
+    EXPECT_NE(kTs, kConv);
+    // Every component of the spec is significant: metric, bound,
+    // confidence.
+    conv.converge = "atomics:0.05";
+    EXPECT_NE(kConv, ResultStore::keyFor(makeParams(conv, 8, 1), "pc",
+                                         "eager", 100));
+    conv.converge = "instructions:0.01";
+    EXPECT_NE(kConv, ResultStore::keyFor(makeParams(conv, 8, 1), "pc",
+                                         "eager", 100));
+    conv.converge = "instructions:0.05:0.99";
+    EXPECT_NE(kConv, ResultStore::keyFor(makeParams(conv, 8, 1), "pc",
+                                         "eager", 100));
     // Deterministic: same inputs, same key.
     EXPECT_EQ(k, ResultStore::keyFor(makeParams(eagerConfig(), 8, 1),
                                      "pc", "eager", 100));
@@ -443,6 +480,79 @@ TEST(ResultStoreSuite, TracedRunsBypassTheStore)
     ::unsetenv("ROWSIM_RESULTS_DIR");
     Trace::scopeToJob("");
     std::filesystem::remove(sink);
+}
+
+TEST(ResultStoreSuite, HeartbeatRunsBypassTheStore)
+{
+    // The heartbeat is live telemetry: a stored result replayed from
+    // disk would emit no progress events, so — exactly like
+    // ROWSIM_TRACE — an instrumented run neither loads nor stores.
+    const std::string dir = testDir("hb-bypass");
+    const std::string sink = dir + "-hb.jsonl";
+    ::setenv("ROWSIM_RESULTS", "on", 1);
+    ::setenv("ROWSIM_RESULTS_DIR", dir.c_str(), 1);
+    ::setenv("ROWSIM_HEARTBEAT", sink.c_str(), 1);
+
+    const RunResult first = runExperiment("pc", eagerConfig(), 8, 30, 1);
+    EXPECT_FALSE(first.fromCache);
+    EXPECT_FALSE(std::filesystem::exists(dir)); // no entry was written
+
+    // Populate the store without the heartbeat, then rerun with it:
+    // the run must simulate (so events flow), not serve the cache.
+    ::unsetenv("ROWSIM_HEARTBEAT");
+    const RunResult stored = runExperiment("pc", eagerConfig(), 8, 30, 1);
+    EXPECT_FALSE(stored.fromCache);
+    EXPECT_TRUE(std::filesystem::exists(dir));
+    ::setenv("ROWSIM_HEARTBEAT", sink.c_str(), 1);
+    const RunResult live = runExperiment("pc", eagerConfig(), 8, 30, 1);
+    EXPECT_FALSE(live.fromCache);
+    EXPECT_EQ(live.cycles, stored.cycles);
+
+    ::unsetenv("ROWSIM_HEARTBEAT");
+    ::unsetenv("ROWSIM_RESULTS");
+    ::unsetenv("ROWSIM_RESULTS_DIR");
+    std::filesystem::remove(sink);
+}
+
+TEST(ResultStoreSuite, ConvergeMissesThePlainEntryAndCachesItsOwn)
+{
+    const std::string dir = testDir("converge");
+    ::setenv("ROWSIM_RESULTS", "on", 1);
+    ::setenv("ROWSIM_RESULTS_DIR", dir.c_str(), 1);
+    ::setenv("ROWSIM_STATS_INTERVAL", "1024", 1);
+
+    // Warm the plain entry.
+    const RunResult plain =
+        runExperiment("pc", eagerConfig(), 8, 4000, 1, false);
+    EXPECT_FALSE(plain.fromCache);
+
+    // A convergence-bounded run stops at a different cycle, so serving
+    // the plain entry would be wrong: it must miss, recompute, and
+    // store under its own key.
+    ExpConfig conv = eagerConfig();
+    conv.converge = "instructions:0.2";
+    const RunResult cold =
+        runExperiment("pc", conv, 8, 4000, 1, false);
+    EXPECT_FALSE(cold.fromCache);
+    ASSERT_TRUE(cold.converged);
+    EXPECT_LT(cold.cycles, plain.cycles);
+
+    const RunResult warm = runExperiment("pc", conv, 8, 4000, 1, false);
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.cycles, cold.cycles);
+    EXPECT_EQ(warm.tsJson, cold.tsJson);
+    EXPECT_EQ(warm.converged, cold.converged);
+    EXPECT_EQ(warm.convergeAchieved, cold.convergeAchieved);
+
+    // And the plain entry still serves plain reruns.
+    const RunResult plainWarm =
+        runExperiment("pc", eagerConfig(), 8, 4000, 1, false);
+    EXPECT_TRUE(plainWarm.fromCache);
+    EXPECT_EQ(plainWarm.cycles, plain.cycles);
+
+    ::unsetenv("ROWSIM_STATS_INTERVAL");
+    ::unsetenv("ROWSIM_RESULTS");
+    ::unsetenv("ROWSIM_RESULTS_DIR");
 }
 
 TEST(ResultStoreSuite, CrashDumpsCarryTheJobSuffix)

@@ -27,6 +27,15 @@ Subcommands:
                                 (.res file) or a store directory: magic,
                                 schema version, embedded key vs file
                                 name, payload length, SHA-256 trailer.
+  timeseries-schema PATH        metric time-series output (a stats JSON
+                                report with a "timeseries" section, a
+                                raw engine object, or a JSONL run
+                                report): sample grid on the period,
+                                window bounds, batch layout, CI
+                                consistency, convergence outcome.
+  heartbeat-schema PATH         ROWSIM_HEARTBEAT JSONL stream: event
+                                schemas (run/job/sweep), per-job
+                                lifecycle ordering, final sweep tallies.
   selftest                      run the built-in unit tests.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
@@ -199,6 +208,214 @@ def validate_span_records(lines):
     return n
 
 
+def _validate_ts_object(ts, where):
+    """Validate one time-series engine object (the "timeseries" value)."""
+    period = ts.get("period", 0)
+    window = ts.get("window", 0)
+    if period <= 0 or window <= 0:
+        raise ValidationError(f"{where}: period/window must be > 0")
+    metrics = ts.get("metrics")
+    if not metrics:
+        raise ValidationError(f"{where}: no metrics")
+    for name, m in metrics.items():
+        count = m.get("count", -1)
+        if count < 0:
+            raise ValidationError(f"{where}, {name}: bad count")
+        pts = m.get("points", {})
+        cycles, values = pts.get("cycles", []), pts.get("values", [])
+        if len(cycles) != len(values):
+            raise ValidationError(
+                f"{where}, {name}: cycles/values length mismatch")
+        if len(cycles) > min(window, count):
+            raise ValidationError(
+                f"{where}, {name}: window holds {len(cycles)} points, "
+                f"more than min(window={window}, count={count})")
+        prev = 0
+        for c in cycles:
+            if c % period != 0 or c <= prev:
+                raise ValidationError(
+                    f"{where}, {name}: sample cycle {c} is not a "
+                    f"strictly-increasing multiple of the period")
+            prev = c
+        batches, bsize = m.get("batches", 0), m.get("batchSize", 0)
+        if bsize <= 0 or batches * bsize > count:
+            raise ValidationError(
+                f"{where}, {name}: batch layout {batches}x{bsize} "
+                f"exceeds {count} samples")
+        ci = m.get("ci", {})
+        if ci.get("valid"):
+            if not 0 < ci.get("confidence", 0) < 1:
+                raise ValidationError(
+                    f"{where}, {name}: CI confidence out of (0,1)")
+            lo, hi, hw = ci.get("lo", 0), ci.get("hi", 0), \
+                ci.get("halfwidth", -1)
+            if hw < 0 or lo > hi:
+                raise ValidationError(
+                    f"{where}, {name}: degenerate CI [{lo}, {hi}]")
+            # The JSON carries %.6g values, so the width is only exact
+            # to the rounding of the (possibly much larger) endpoints.
+            if abs((hi - lo) - 2 * hw) > 1e-5 * (abs(lo) + abs(hi) + 1):
+                raise ValidationError(
+                    f"{where}, {name}: CI width {hi - lo} is not twice "
+                    f"the half-width {hw}")
+    conv = ts.get("converge")
+    if conv is not None:
+        if conv.get("metric") not in metrics:
+            raise ValidationError(
+                f"{where}: converge metric {conv.get('metric')!r} is "
+                f"not a tracked metric")
+        if not conv.get("target", 0) > 0:
+            raise ValidationError(f"{where}: converge target must be > 0")
+        if not 0 < conv.get("confidence", 0) < 1:
+            raise ValidationError(
+                f"{where}: converge confidence out of (0,1)")
+        if conv.get("converged"):
+            at = conv.get("atCycle", 0)
+            if at <= 0 or at % period != 0:
+                raise ValidationError(
+                    f"{where}: converged at cycle {at}, not a sampling "
+                    f"boundary")
+            achieved = conv.get("achieved")
+            if achieved is None or achieved > conv["target"]:
+                raise ValidationError(
+                    f"{where}: converged but achieved {achieved} "
+                    f"exceeds the target {conv['target']}")
+
+
+def validate_timeseries(text):
+    """Validate time-series output: a whole JSON document (stats report
+    or raw engine object) or a JSONL stream of run records. Returns the
+    number of time-series objects validated."""
+    def extract(doc):
+        if "timeseries" in doc:
+            return doc["timeseries"]
+        if "metrics" in doc:
+            return doc
+        return None
+
+    try:
+        doc = json.loads(text)
+        docs = [("document", extract(doc))] if isinstance(doc, dict) \
+            else []
+    except json.JSONDecodeError:
+        docs = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValidationError(f"line {lineno}: bad JSON: {e}")
+            docs.append((f"line {lineno}", extract(rec)))
+    n = 0
+    for where, ts in docs:
+        if ts is None:
+            continue
+        _validate_ts_object(ts, where)
+        n += 1
+    if n == 0:
+        raise ValidationError("no time-series records")
+    return n
+
+
+HEARTBEAT_JOB_STATES = {"queued", "started", "retrying", "finished"}
+
+
+def validate_heartbeat(lines):
+    """Validate a ROWSIM_HEARTBEAT JSONL stream.
+
+    Checks every event's schema and the per-job lifecycle ordering
+    (queued -> started -> retrying* -> finished); when the sweep-end
+    event is present, its ok/failed tally must cover every job and every
+    job must have finished. Returns (events, jobs seen).
+    """
+    jobs = {}          # index -> last state
+    sweep_jobs = None
+    end_tally = None
+    n = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"line {lineno}: bad JSON: {e}")
+        kind = ev.get("ev")
+        if ev.get("wall", 0) <= 0:
+            raise ValidationError(f"line {lineno}: missing wall stamp")
+        if kind == "run":
+            if ev.get("cycle", -1) < 0 or ev.get("iters", -1) < 0:
+                raise ValidationError(
+                    f"line {lineno}: run event with negative progress")
+            if not 0 <= ev.get("frac", -1) <= 1:
+                raise ValidationError(
+                    f"line {lineno}: quota fraction {ev.get('frac')} "
+                    f"out of [0,1]")
+            if ev.get("kcps", -1) < 0:
+                raise ValidationError(f"line {lineno}: negative kcps")
+            if "rssKb" not in ev:
+                raise ValidationError(f"line {lineno}: run without rssKb")
+        elif kind == "job":
+            key, state = ev.get("job", ""), ev.get("state")
+            if not key.startswith("j") or not key[1:].isdigit():
+                raise ValidationError(
+                    f"line {lineno}: bad job key {key!r}")
+            if state not in HEARTBEAT_JOB_STATES:
+                raise ValidationError(
+                    f"line {lineno}: bad job state {state!r}")
+            if ev.get("attempt", 0) < 1:
+                raise ValidationError(
+                    f"line {lineno}: job attempt must be >= 1")
+            if state in ("finished", "retrying") and not ev.get("status"):
+                raise ValidationError(
+                    f"line {lineno}: {state} without a status")
+            idx = int(key[1:])
+            prev = jobs.get(idx)
+            if state == "started" and prev not in ("queued", "retrying"):
+                raise ValidationError(
+                    f"line {lineno}: job {idx} started from "
+                    f"{prev!r}, not queued/retrying")
+            if state in ("retrying", "finished") and prev != "started":
+                raise ValidationError(
+                    f"line {lineno}: job {idx} {state} from {prev!r}, "
+                    f"not started")
+            jobs[idx] = state
+        elif kind == "sweep":
+            state = ev.get("state")
+            if state not in ("start", "end"):
+                raise ValidationError(
+                    f"line {lineno}: bad sweep state {state!r}")
+            if ev.get("jobs", 0) <= 0:
+                raise ValidationError(
+                    f"line {lineno}: sweep without jobs")
+            if ev.get("isolation") not in ("thread", "process"):
+                raise ValidationError(
+                    f"line {lineno}: bad isolation "
+                    f"{ev.get('isolation')!r}")
+            sweep_jobs = ev["jobs"]
+            if state == "end":
+                end_tally = (ev.get("ok", -1), ev.get("failed", -1))
+        else:
+            raise ValidationError(
+                f"line {lineno}: unknown event kind {kind!r}")
+        n += 1
+    if n == 0:
+        raise ValidationError("no heartbeat events")
+    if end_tally is not None:
+        ok, failed = end_tally
+        if ok < 0 or failed < 0 or ok + failed != sweep_jobs:
+            raise ValidationError(
+                f"sweep end tally ok={ok} failed={failed} does not "
+                f"cover {sweep_jobs} jobs")
+        unfinished = [i for i, s in jobs.items() if s != "finished"]
+        if unfinished:
+            raise ValidationError(
+                f"sweep ended but jobs {unfinished} never finished")
+    return n, len(jobs)
+
+
 RES_MAGIC = b"ROWRES\x00\x00"
 RES_HEADER_LEN = 8 + 4 + 32 + 8  # magic + version + key + payload length
 RES_TRAILER_LEN = 32             # SHA-256 of the payload
@@ -312,6 +529,57 @@ def _selftest():
                        "segs": {"dispatchWait": 1, "sbDrain": 6,
                                 "aqWait": 2, "execute": 4, "l1Miss": 12,
                                 "unblockWait": 0, "lockHeld": 5}}]}})
+
+    good_ts = json.dumps({
+        "workload": "cq", "config": "eager",
+        "timeseries": {
+            "period": 1024, "window": 512,
+            "metrics": {
+                "instructions": {
+                    "count": 16, "mean": 100.0, "stddev": 5.0,
+                    "lag1": 0.2, "batches": 16, "batchSize": 1,
+                    "ci": {"valid": True, "confidence": 0.95,
+                           "halfwidth": 2.5, "rel": 0.025,
+                           "lo": 97.5, "hi": 102.5},
+                    "points": {"cycles": [1024, 2048, 3072],
+                               "values": [99.0, 101.0, 100.0]}}},
+            "converge": {"metric": "instructions", "target": 0.05,
+                         "confidence": 0.95, "achieved": 0.025,
+                         "converged": True, "atCycle": 16384}}})
+    good_hb = [
+        json.dumps({"ev": "sweep", "wall": 10, "state": "start",
+                    "jobs": 2, "isolation": "thread"}),
+        json.dumps({"ev": "job", "wall": 11, "job": "j0",
+                    "state": "queued", "attempt": 1, "workload": "pc",
+                    "config": "eager"}),
+        json.dumps({"ev": "job", "wall": 11, "job": "j1",
+                    "state": "queued", "attempt": 1, "workload": "cq",
+                    "config": "lazy"}),
+        json.dumps({"ev": "job", "wall": 12, "job": "j0",
+                    "state": "started", "attempt": 1, "workload": "pc",
+                    "config": "eager"}),
+        json.dumps({"ev": "run", "wall": 13, "job": "j0", "cycle": 4096,
+                    "iters": 10, "quota": 100, "frac": 0.1,
+                    "kcps": 850.0, "etaMs": 900, "rssKb": 51200}),
+        json.dumps({"ev": "job", "wall": 14, "job": "j0",
+                    "state": "finished", "attempt": 1, "workload": "pc",
+                    "config": "eager", "status": "ok"}),
+        json.dumps({"ev": "job", "wall": 14, "job": "j1",
+                    "state": "started", "attempt": 1, "workload": "cq",
+                    "config": "lazy"}),
+        json.dumps({"ev": "job", "wall": 15, "job": "j1",
+                    "state": "retrying", "attempt": 1, "workload": "cq",
+                    "config": "lazy", "status": "crashed"}),
+        json.dumps({"ev": "job", "wall": 16, "job": "j1",
+                    "state": "started", "attempt": 2, "workload": "cq",
+                    "config": "lazy"}),
+        json.dumps({"ev": "job", "wall": 17, "job": "j1",
+                    "state": "finished", "attempt": 2, "workload": "cq",
+                    "config": "lazy", "status": "ok"}),
+        json.dumps({"ev": "sweep", "wall": 18, "state": "end",
+                    "jobs": 2, "ok": 2, "failed": 0,
+                    "isolation": "thread"}),
+    ]
 
     def make_store_entry(payload=b"result-bytes", version=1):
         key = hashlib.sha256(b"some key preimage").digest()
@@ -443,6 +711,96 @@ def _selftest():
             with self.assertRaises(ValidationError):
                 validate_span_records([""])
 
+        def test_timeseries_accepts_good_record(self):
+            self.assertEqual(validate_timeseries(good_ts), 1)
+
+        def test_timeseries_accepts_raw_engine_object(self):
+            raw = json.dumps(json.loads(good_ts)["timeseries"])
+            self.assertEqual(validate_timeseries(raw), 1)
+
+        def test_timeseries_rejects_off_grid_sample(self):
+            rec = json.loads(good_ts)
+            rec["timeseries"]["metrics"]["instructions"]["points"][
+                "cycles"][1] = 2000
+            with self.assertRaisesRegex(ValidationError, "multiple"):
+                validate_timeseries(json.dumps(rec))
+
+        def test_timeseries_rejects_degenerate_ci(self):
+            rec = json.loads(good_ts)
+            rec["timeseries"]["metrics"]["instructions"]["ci"]["lo"] = 200
+            with self.assertRaisesRegex(ValidationError, "CI"):
+                validate_timeseries(json.dumps(rec))
+
+        def test_timeseries_rejects_batch_overrun(self):
+            rec = json.loads(good_ts)
+            rec["timeseries"]["metrics"]["instructions"]["batches"] = 99
+            with self.assertRaisesRegex(ValidationError, "batch"):
+                validate_timeseries(json.dumps(rec))
+
+        def test_timeseries_rejects_off_boundary_convergence(self):
+            rec = json.loads(good_ts)
+            rec["timeseries"]["converge"]["atCycle"] = 16000
+            with self.assertRaisesRegex(ValidationError, "boundary"):
+                validate_timeseries(json.dumps(rec))
+
+        def test_timeseries_rejects_unmet_target_marked_converged(self):
+            rec = json.loads(good_ts)
+            rec["timeseries"]["converge"]["achieved"] = 0.06
+            with self.assertRaisesRegex(ValidationError, "target"):
+                validate_timeseries(json.dumps(rec))
+
+        def test_timeseries_rejects_empty_input(self):
+            with self.assertRaises(ValidationError):
+                validate_timeseries("{}")
+
+        def test_heartbeat_accepts_good_stream(self):
+            self.assertEqual(validate_heartbeat(good_hb), (11, 2))
+
+        def test_heartbeat_rejects_unknown_event(self):
+            with self.assertRaisesRegex(ValidationError, "unknown"):
+                validate_heartbeat(
+                    [json.dumps({"ev": "pulse", "wall": 1})])
+
+        def test_heartbeat_rejects_bad_fraction(self):
+            bad = list(good_hb)
+            rec = json.loads(bad[4])
+            rec["frac"] = 1.5
+            bad[4] = json.dumps(rec)
+            with self.assertRaisesRegex(ValidationError, "fraction"):
+                validate_heartbeat(bad)
+
+        def test_heartbeat_rejects_finish_without_status(self):
+            bad = list(good_hb)
+            rec = json.loads(bad[5])
+            del rec["status"]
+            bad[5] = json.dumps(rec)
+            with self.assertRaisesRegex(ValidationError, "status"):
+                validate_heartbeat(bad)
+
+        def test_heartbeat_rejects_lifecycle_skip(self):
+            bad = list(good_hb)
+            del bad[3]  # j0 finishes without ever starting
+            with self.assertRaisesRegex(ValidationError, "not started"):
+                validate_heartbeat(bad)
+
+        def test_heartbeat_rejects_end_tally_mismatch(self):
+            bad = list(good_hb)
+            rec = json.loads(bad[-1])
+            rec["ok"] = 1
+            bad[-1] = json.dumps(rec)
+            with self.assertRaisesRegex(ValidationError, "tally"):
+                validate_heartbeat(bad)
+
+        def test_heartbeat_rejects_unfinished_job_at_end(self):
+            bad = list(good_hb)
+            del bad[9]  # j1 never finishes
+            with self.assertRaisesRegex(ValidationError, "finished"):
+                validate_heartbeat(bad)
+
+        def test_heartbeat_rejects_empty_input(self):
+            with self.assertRaises(ValidationError):
+                validate_heartbeat([""])
+
     suite = unittest.defaultTestLoader.loadTestsFromTestCase(SelfTest)
     result = unittest.TextTestRunner(verbosity=2).run(suite)
     return 0 if result.wasSuccessful() else 1
@@ -484,6 +842,16 @@ def main(argv):
             n, versions = validate_store(argv[2])
             vers = ", ".join(str(v) for v in sorted(versions))
             print(f"store schema ok: {n} entries (schema version {vers})")
+            return 0
+        if cmd == "timeseries-schema":
+            with open(argv[2]) as f:
+                n = validate_timeseries(f.read())
+            print(f"timeseries schema ok: {n} records")
+            return 0
+        if cmd == "heartbeat-schema":
+            with open(argv[2]) as f:
+                n, jobs = validate_heartbeat(f)
+            print(f"heartbeat schema ok: {n} events, {jobs} jobs")
             return 0
     except ValidationError as e:
         print(f"ci_validate: {cmd}: {e}", file=sys.stderr)

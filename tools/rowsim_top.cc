@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Live sweep monitor: tails a ROWSIM_HEARTBEAT JSONL stream into a
+ * per-job progress table, `top`-style.
+ *
+ *   rowsim_top FILE          follow FILE, redrawing as events arrive;
+ *                            exits when the sweep-end event lands
+ *   rowsim_top --once FILE   render the stream's current state once
+ *                            and exit (CI / scripting mode)
+ *
+ * The table merges the three heartbeat event kinds: "sweep" events
+ * frame the run (job total, isolation mode, final ok/failed tally),
+ * "job" events drive each row's lifecycle column
+ * (queued/started/retrying/finished + attempt + status), and "run"
+ * events from inside the simulating workers fill the live progress
+ * columns (quota fraction, Kcycles/s, ETA, RSS). Partial trailing
+ * lines — a worker mid-write — are left in the buffer until complete,
+ * so the monitor never sees a fragment.
+ *
+ * Standalone: parses JSON itself (no simulator linkage), so it can
+ * watch a sweep started by any rowsim build.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (same shape as span_report;
+// kept separate so each tool stays a single self-contained file).
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        static const Json null;
+        auto it = obj.find(key);
+        return it == obj.end() ? null : it->second;
+    }
+
+    unsigned long long
+    asU64() const
+    {
+        if (type == Number)
+            return static_cast<unsigned long long>(num);
+        if (type == String)
+            return std::strtoull(str.c_str(), nullptr, 0);
+        return 0;
+    }
+
+    double asDouble() const { return type == Number ? num : 0.0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        ws();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        pos++;
+    }
+
+    Json
+    value()
+    {
+        ws();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true", Json::Bool, true);
+          case 'f': return literal("false", Json::Bool, false);
+          case 'n': return literal("null", Json::Null, false);
+          default: return number();
+        }
+    }
+
+    Json
+    literal(const char *word, Json::Type t, bool b)
+    {
+        if (s.compare(pos, std::strlen(word), word) != 0)
+            fail("bad literal");
+        pos += std::strlen(word);
+        Json j;
+        j.type = t;
+        j.b = b;
+        return j;
+    }
+
+    Json
+    object()
+    {
+        Json j;
+        j.type = Json::Object;
+        expect('{');
+        ws();
+        if (peek() == '}') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            ws();
+            Json key = string();
+            ws();
+            expect(':');
+            j.obj[key.str] = value();
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return j;
+        }
+    }
+
+    Json
+    array()
+    {
+        Json j;
+        j.type = Json::Array;
+        expect('[');
+        ws();
+        if (peek() == ']') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            j.arr.push_back(value());
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect(']');
+            return j;
+        }
+    }
+
+    Json
+    string()
+    {
+        Json j;
+        j.type = Json::String;
+        expect('"');
+        while (true) {
+            char c = peek();
+            pos++;
+            if (c == '"')
+                return j;
+            if (c == '\\') {
+                char e = peek();
+                pos++;
+                switch (e) {
+                  case '"': j.str += '"'; break;
+                  case '\\': j.str += '\\'; break;
+                  case '/': j.str += '/'; break;
+                  case 'n': j.str += '\n'; break;
+                  case 't': j.str += '\t'; break;
+                  case 'r': j.str += '\r'; break;
+                  case 'u':
+                    if (pos + 4 > s.size())
+                        fail("bad \\u escape");
+                    pos += 4;
+                    j.str += '?';
+                    break;
+                  default: fail("bad escape");
+                }
+            } else {
+                j.str += c;
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            pos++;
+        }
+        if (pos == start)
+            fail("expected number");
+        Json j;
+        j.type = Json::Number;
+        j.num = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+        return j;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------------
+// Stream state
+// ---------------------------------------------------------------------
+
+struct JobRow
+{
+    std::string workload;
+    std::string config;
+    std::string state = "queued";
+    std::string status;
+    unsigned attempt = 1;
+    // Live progress from the latest run event.
+    double frac = 0;
+    double kcps = 0;
+    double etaMs = -1;
+    long rssKb = -1;
+    unsigned long long cycle = 0;
+    bool seenRun = false;
+};
+
+struct TopState
+{
+    bool sweepSeen = false;
+    bool sweepEnded = false;
+    std::size_t jobsTotal = 0, ok = 0, failed = 0;
+    std::string isolation;
+    unsigned long long lastWall = 0;
+    // Keyed by job index; the "jN" key of run events maps here.
+    std::map<std::size_t, JobRow> jobs;
+
+    void
+    apply(const Json &ev)
+    {
+        const std::string kind = ev.at("ev").str;
+        if (ev.at("wall").asU64() > lastWall)
+            lastWall = ev.at("wall").asU64();
+        if (kind == "sweep") {
+            sweepSeen = true;
+            jobsTotal = ev.at("jobs").asU64();
+            isolation = ev.at("isolation").str;
+            if (ev.at("state").str == "end") {
+                sweepEnded = true;
+                ok = ev.at("ok").asU64();
+                failed = ev.at("failed").asU64();
+            }
+            return;
+        }
+        // Both "job" and "run" events address a row by job key.
+        const std::string &key = ev.at("job").str;
+        if (key.size() < 2 || key[0] != 'j')
+            return; // run event outside a sweep
+        const std::size_t idx =
+            static_cast<std::size_t>(std::strtoull(key.c_str() + 1,
+                                                   nullptr, 10));
+        JobRow &row = jobs[idx];
+        if (kind == "job") {
+            row.state = ev.at("state").str;
+            row.attempt =
+                static_cast<unsigned>(ev.at("attempt").asU64());
+            row.workload = ev.at("workload").str;
+            row.config = ev.at("config").str;
+            row.status = ev.at("status").str;
+        } else if (kind == "run") {
+            row.seenRun = true;
+            row.frac = ev.at("frac").asDouble();
+            row.kcps = ev.at("kcps").asDouble();
+            row.etaMs = ev.obj.count("etaMs")
+                            ? ev.at("etaMs").asDouble() : -1.0;
+            row.rssKb = static_cast<long>(ev.at("rssKb").asDouble());
+            row.cycle = ev.at("cycle").asU64();
+        }
+    }
+};
+
+std::string
+fmtEta(double ms)
+{
+    if (ms < 0)
+        return "-";
+    char buf[32];
+    if (ms >= 60000)
+        std::snprintf(buf, sizeof buf, "%.1fm", ms / 60000.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.1fs", ms / 1000.0);
+    return buf;
+}
+
+void
+render(const TopState &st, bool follow)
+{
+    if (follow)
+        std::printf("\x1b[H\x1b[2J"); // home + clear
+    std::size_t queued = 0, runningN = 0, done = 0, retrying = 0;
+    for (const auto &kv : st.jobs) {
+        const std::string &s = kv.second.state;
+        if (s == "queued")
+            queued++;
+        else if (s == "started")
+            runningN++;
+        else if (s == "retrying")
+            retrying++;
+        else if (s == "finished")
+            done++;
+    }
+    std::printf("rowsim sweep: %zu jobs (%s isolation)  "
+                "queued %zu  running %zu  retrying %zu  done %zu",
+                st.jobsTotal, st.isolation.c_str(), queued, runningN,
+                retrying, done);
+    if (st.sweepEnded)
+        std::printf("  -- COMPLETE: %zu ok, %zu failed", st.ok,
+                    st.failed);
+    std::printf("\n\n");
+    std::printf("%5s %-12s %-14s %-9s %3s %7s %9s %8s %9s %-8s\n", "job",
+                "workload", "config", "state", "att", "prog", "kcyc/s",
+                "eta", "rssMB", "status");
+    for (const auto &kv : st.jobs) {
+        const JobRow &r = kv.second;
+        std::printf("%5zu %-12.12s %-14.14s %-9.9s %3u ", kv.first,
+                    r.workload.c_str(), r.config.c_str(),
+                    r.state.c_str(), r.attempt);
+        if (r.seenRun && r.state != "finished") {
+            std::printf("%6.1f%% %9.1f %8s %9.1f", 100.0 * r.frac,
+                        r.kcps, fmtEta(r.etaMs).c_str(),
+                        r.rssKb >= 0 ? r.rssKb / 1024.0 : 0.0);
+        } else if (r.state == "finished") {
+            std::printf("%6.0f%% %9s %8s %9s", 100.0, "-", "-", "-");
+        } else {
+            std::printf("%7s %9s %8s %9s", "-", "-", "-", "-");
+        }
+        std::printf(" %-8.24s\n", r.status.c_str());
+    }
+    std::fflush(stdout);
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rowsim_top [--once] FILE\n"
+                 "  Tail a ROWSIM_HEARTBEAT JSONL stream into a live\n"
+                 "  per-job table. Follow mode redraws as events arrive\n"
+                 "  and exits on the sweep-end event; --once renders the\n"
+                 "  stream's current state a single time and exits.\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool once = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--once") == 0)
+            once = true;
+        else if (!path)
+            path = argv[i];
+        else
+            usage();
+    }
+    if (!path)
+        usage();
+
+    TopState st;
+    std::string buf;     // undigested bytes (tail may be mid-line)
+    long offset = 0;     // next byte to read from the stream file
+    bool warnedMissing = false;
+
+    for (;;) {
+        if (std::FILE *f = std::fopen(path, "rb")) {
+            // A shrunken file means the sweep restarted with a fresh
+            // sink; start over instead of reading garbage.
+            std::fseek(f, 0, SEEK_END);
+            const long size = std::ftell(f);
+            if (size < offset) {
+                offset = 0;
+                buf.clear();
+                st = TopState();
+            }
+            std::fseek(f, offset, SEEK_SET);
+            char chunk[1 << 16];
+            std::size_t n;
+            while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+                buf.append(chunk, n);
+                offset += static_cast<long>(n);
+            }
+            std::fclose(f);
+        } else if (once) {
+            std::fprintf(stderr, "rowsim_top: cannot open %s\n", path);
+            return 1;
+        } else if (!warnedMissing) {
+            std::fprintf(stderr,
+                         "rowsim_top: waiting for %s to appear...\n",
+                         path);
+            warnedMissing = true;
+        }
+
+        // Digest complete lines; a partial tail stays buffered.
+        std::size_t pos = 0;
+        while (true) {
+            const std::size_t eol = buf.find('\n', pos);
+            if (eol == std::string::npos)
+                break;
+            const std::string line = buf.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            try {
+                st.apply(JsonParser(line).parse());
+            } catch (const std::exception &) {
+                // A torn or foreign line; skip it.
+            }
+        }
+        buf.erase(0, pos);
+
+        render(st, !once);
+        if (once)
+            return st.sweepSeen || !st.jobs.empty() ? 0 : 1;
+        if (st.sweepEnded)
+            return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Pretty-printer for the metric time-series engine's JSON output.
+ *
+ * Input is either a single stats-JSON report (System::dumpStatsJson with
+ * a "timeseries" section), a raw TimeSeriesEngine::toJson() object, or a
+ * JSONL stream of per-run records ({"workload":...,"config":...,
+ * "timeseries":{...}}) as written by run reports. "-" reads stdin.
+ *
+ * For each record the tool prints a per-metric summary table (count,
+ * mean, standard deviation, lag-1 autocorrelation, batch layout, and
+ * the batch-means confidence interval), an ASCII sparkline of each
+ * metric's retained window, an over-time table sampling the window at
+ * up to ten rows, and — when the run was convergence-bounded — the
+ * ROWSIM_CONVERGE outcome.
+ *
+ * Standalone: parses JSON itself (no simulator linkage), so it also
+ * works on reports produced by older or newer rowsim builds.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (same shape as span_report;
+// kept separate so each tool stays a single self-contained file).
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        static const Json null;
+        auto it = obj.find(key);
+        return it == obj.end() ? null : it->second;
+    }
+
+    bool has(const std::string &key) const { return obj.count(key) != 0; }
+
+    unsigned long long
+    asU64() const
+    {
+        if (type == Number)
+            return static_cast<unsigned long long>(num);
+        if (type == String)
+            return std::strtoull(str.c_str(), nullptr, 0);
+        return 0;
+    }
+
+    double asDouble() const { return type == Number ? num : 0.0; }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        ws();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void
+    ws()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        pos++;
+    }
+
+    Json
+    value()
+    {
+        ws();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true", Json::Bool, true);
+          case 'f': return literal("false", Json::Bool, false);
+          case 'n': return literal("null", Json::Null, false);
+          default: return number();
+        }
+    }
+
+    Json
+    literal(const char *word, Json::Type t, bool b)
+    {
+        if (s.compare(pos, std::strlen(word), word) != 0)
+            fail("bad literal");
+        pos += std::strlen(word);
+        Json j;
+        j.type = t;
+        j.b = b;
+        return j;
+    }
+
+    Json
+    object()
+    {
+        Json j;
+        j.type = Json::Object;
+        expect('{');
+        ws();
+        if (peek() == '}') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            ws();
+            Json key = string();
+            ws();
+            expect(':');
+            j.obj[key.str] = value();
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return j;
+        }
+    }
+
+    Json
+    array()
+    {
+        Json j;
+        j.type = Json::Array;
+        expect('[');
+        ws();
+        if (peek() == ']') {
+            pos++;
+            return j;
+        }
+        while (true) {
+            j.arr.push_back(value());
+            ws();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect(']');
+            return j;
+        }
+    }
+
+    Json
+    string()
+    {
+        Json j;
+        j.type = Json::String;
+        expect('"');
+        while (true) {
+            char c = peek();
+            pos++;
+            if (c == '"')
+                return j;
+            if (c == '\\') {
+                char e = peek();
+                pos++;
+                switch (e) {
+                  case '"': j.str += '"'; break;
+                  case '\\': j.str += '\\'; break;
+                  case '/': j.str += '/'; break;
+                  case 'n': j.str += '\n'; break;
+                  case 't': j.str += '\t'; break;
+                  case 'r': j.str += '\r'; break;
+                  case 'u':
+                    if (pos + 4 > s.size())
+                        fail("bad \\u escape");
+                    pos += 4;
+                    j.str += '?';
+                    break;
+                  default: fail("bad escape");
+                }
+            } else {
+                j.str += c;
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            pos++;
+        }
+        if (pos == start)
+            fail("expected number");
+        Json j;
+        j.type = Json::Number;
+        j.num = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+        return j;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+// ---------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------
+
+/** 60-column ASCII sparkline: each column is the mean of the points it
+ *  covers, mapped to a 10-level density ramp over [min, max]. */
+std::string
+sparkline(const std::vector<double> &vals)
+{
+    constexpr int lane = 60;
+    static const char ramp[] = " .:-=+*#%@";
+    if (vals.empty())
+        return std::string(lane, ' ');
+    double lo = vals[0], hi = vals[0];
+    for (double v : vals) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    std::string out;
+    const int cols = std::min<int>(lane, static_cast<int>(vals.size()));
+    for (int c = 0; c < cols; ++c) {
+        const std::size_t a = vals.size() * c / cols;
+        const std::size_t b =
+            std::max(a + 1, vals.size() * (c + 1) / cols);
+        double sum = 0;
+        for (std::size_t i = a; i < b; ++i)
+            sum += vals[i];
+        const double mean = sum / static_cast<double>(b - a);
+        const int level =
+            span > 0 ? static_cast<int>(9.0 * (mean - lo) / span + 0.5)
+                     : 0;
+        out += ramp[std::clamp(level, 0, 9)];
+    }
+    return out;
+}
+
+void
+printMetric(const std::string &name, const Json &m)
+{
+    const Json &ci = m.at("ci");
+    std::printf("    %-18s %7llu %12.6g %12.6g %6.3f %4llux%-6llu",
+                name.c_str(), m.at("count").asU64(),
+                m.at("mean").asDouble(), m.at("stddev").asDouble(),
+                m.at("lag1").asDouble(), m.at("batches").asU64(),
+                m.at("batchSize").asU64());
+    if (ci.at("valid").b) {
+        const double rel = ci.at("rel").asDouble();
+        std::printf("  [%.6g, %.6g]", ci.at("lo").asDouble(),
+                    ci.at("hi").asDouble());
+        if (std::isfinite(rel))
+            std::printf("  ±%.2f%%", 100.0 * rel);
+        std::printf("\n");
+    } else {
+        std::printf("  (CI needs ≥8 batches)\n");
+    }
+}
+
+void
+printOverTime(const Json &metrics)
+{
+    // Union of retained cycles (all metrics sample the same grid, but
+    // stay defensive) sampled at up to ten rows.
+    std::vector<double> cycles;
+    for (const auto &kv : metrics.obj) {
+        const Json &cyc = kv.second.at("points").at("cycles");
+        for (const Json &c : cyc.arr)
+            cycles.push_back(c.asDouble());
+        break; // one metric fixes the grid
+    }
+    if (cycles.empty())
+        return;
+    std::printf("  Over time (window of %zu samples):\n", cycles.size());
+    std::printf("    %12s", "cycle");
+    for (const auto &kv : metrics.obj)
+        std::printf(" %14s", kv.first.c_str());
+    std::printf("\n");
+    const std::size_t rows = std::min<std::size_t>(10, cycles.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t i =
+            rows == 1 ? 0 : (cycles.size() - 1) * r / (rows - 1);
+        std::printf("    %12.0f", cycles[i]);
+        for (const auto &kv : metrics.obj) {
+            const Json &vals = kv.second.at("points").at("values");
+            std::printf(" %14.6g",
+                        i < vals.arr.size() ? vals.arr[i].asDouble() : 0.0);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Render one record: @p ts is the time-series object itself. */
+void
+report(const Json &ts, const std::string &label)
+{
+    const Json &metrics = ts.at("metrics");
+    std::printf("=== %s (interval %llu cycles, window %llu samples) ===\n",
+                label.c_str(), ts.at("period").asU64(),
+                ts.at("window").asU64());
+    std::printf("    %-18s %7s %12s %12s %6s %11s  %s\n", "metric",
+                "count", "mean", "stddev", "lag1", "batches",
+                "batch-means CI");
+    for (const auto &kv : metrics.obj)
+        printMetric(kv.first, kv.second);
+
+    std::printf("  Sparklines (per-interval deltas, min→max):\n");
+    for (const auto &kv : metrics.obj) {
+        const Json &vals = kv.second.at("points").at("values");
+        std::vector<double> v;
+        v.reserve(vals.arr.size());
+        for (const Json &x : vals.arr)
+            v.push_back(x.asDouble());
+        std::printf("    %-18s |%s|\n", kv.first.c_str(),
+                    sparkline(v).c_str());
+    }
+
+    printOverTime(metrics);
+
+    const Json &conv = ts.at("converge");
+    if (conv.type == Json::Object) {
+        const double achieved = conv.at("achieved").asDouble();
+        std::printf("  Convergence: %s rel CI ≤ %.4g @%.0f%% -> %s "
+                    "(achieved %.4g%s)\n",
+                    conv.at("metric").str.c_str(),
+                    conv.at("target").asDouble(),
+                    100.0 * conv.at("confidence").asDouble(),
+                    conv.at("converged").b
+                        ? "converged" : "NOT converged",
+                    achieved,
+                    conv.at("converged").b
+                        ? (" at cycle " +
+                           std::to_string(conv.at("atCycle").asU64()))
+                              .c_str()
+                        : "");
+    }
+    std::printf("\n");
+}
+
+/** A record is either a wrapper with a "timeseries" member (stats
+ *  report / JSONL run record) or a raw engine object (has "metrics"). */
+bool
+handleRecord(const Json &rec, unsigned index)
+{
+    const Json *ts = nullptr;
+    std::string label;
+    if (rec.has("timeseries") &&
+        rec.at("timeseries").type == Json::Object) {
+        ts = &rec.at("timeseries");
+        if (rec.at("workload").type == Json::String)
+            label = rec.at("workload").str;
+        if (rec.at("config").type == Json::String)
+            label += (label.empty() ? "" : "/") + rec.at("config").str;
+    } else if (rec.has("metrics")) {
+        ts = &rec;
+    }
+    if (!ts)
+        return false;
+    if (label.empty())
+        label = "run" + std::to_string(index);
+    report(*ts, label);
+    return true;
+}
+
+std::string
+readAll(const char *path)
+{
+    std::FILE *f =
+        std::strcmp(path, "-") == 0 ? stdin : std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "ts_report: cannot open %s\n", path);
+        std::exit(1);
+    }
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    if (f != stdin)
+        std::fclose(f);
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ts_report FILE|-\n"
+        "  FILE: a stats JSON report (with a \"timeseries\" section), a\n"
+        "        raw time-series engine JSON object, or a JSONL stream\n"
+        "        of run records from a ROWSIM_TS / ROWSIM_CONVERGE run.\n"
+        "        '-' reads stdin.\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2)
+        usage();
+    const char *input = argv[1];
+
+    const std::string text = readAll(input);
+    unsigned rendered = 0, index = 0;
+
+    // A whole-file parse handles pretty-printed stats reports; if that
+    // fails the input is a JSONL stream — parse line by line.
+    bool wholeFile = true;
+    try {
+        Json root = JsonParser(text).parse();
+        if (handleRecord(root, index++))
+            rendered++;
+    } catch (const std::exception &) {
+        wholeFile = false;
+    }
+
+    if (!wholeFile) {
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t eol = text.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = text.size();
+            std::string line = text.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            try {
+                Json rec = JsonParser(line).parse();
+                if (handleRecord(rec, index++))
+                    rendered++;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "ts_report: skipping bad line: %s\n",
+                             e.what());
+            }
+        }
+    }
+
+    if (!rendered) {
+        std::fprintf(stderr,
+                     "ts_report: no time-series records found in %s "
+                     "(was the run executed with ROWSIM_TS=on or "
+                     "ROWSIM_CONVERGE?)\n",
+                     input);
+        return 1;
+    }
+    return 0;
+}
