@@ -15,9 +15,17 @@
  * just a point). A legacy single-object file is wrapped into a
  * one-entry array before appending.
  *
- * Usage: perf_baseline [output.json]   (default: BENCH_perf.json)
+ * Usage: perf_baseline [output.json [quota [workload ...]]]
+ *   output.json  history file (default BENCH_perf.json)
+ *   quota        per-core iteration quota (0 = workload default).
+ *                The sampled-speedup CI gate needs a quota long enough
+ *                for the SMARTS windows to amortize (speedup is bounded
+ *                by quota / (n_ckpts x (warm + detail)) — at default
+ *                quotas sampling cannot win).
+ *   workload...  subset to measure (default: atomicIntensiveWorkloads)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,11 +50,11 @@ struct Sample
 };
 
 Sample
-measure(const std::string &workload)
+measure(const std::string &workload, std::uint64_t quota)
 {
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
-    RunResult r = runExperiment(workload, eagerConfig());
+    RunResult r = runExperiment(workload, eagerConfig(), 32, quota);
     const auto t1 = clock::now();
 
     Sample s;
@@ -62,7 +70,7 @@ measure(const std::string &workload)
 
 /** Render one history entry (two-space-indented, no trailing newline). */
 std::string
-renderEntry(const std::vector<Sample> &samples)
+renderEntry(const std::vector<Sample> &samples, std::uint64_t quota)
 {
     std::string e = "  {\n    \"host\": {\n";
     char buf[256];
@@ -95,6 +103,29 @@ renderEntry(const std::vector<Sample> &samples)
     const char *results = std::getenv("ROWSIM_RESULTS");
     std::snprintf(buf, sizeof(buf), "      \"results\": \"%s\",\n",
                   results && *results ? results : "off");
+    e += buf;
+    // Execution mode (ROWSIM_MODE) and sampling layout (ROWSIM_SAMPLE):
+    // func and sampled runs legitimately report different sim_cycles
+    // than detail (the former counts functional bookkeeping ticks, the
+    // latter an extrapolated estimate), so the stability check groups
+    // history entries by these two fields — the detail/func/sampled
+    // perf triple lives in one file without tripping it.
+    const char *mode = std::getenv("ROWSIM_MODE");
+    std::snprintf(buf, sizeof(buf), "      \"mode\": \"%s\",\n",
+                  mode && *mode ? mode : "detail");
+    e += buf;
+    const char *sample = std::getenv("ROWSIM_SAMPLE");
+    std::snprintf(buf, sizeof(buf), "      \"sampled\": \"%s\",\n",
+                  sample && *sample ? sample : "off");
+    e += buf;
+    // The iteration quota changes sim_cycles legitimately (longer run),
+    // so the stability check also groups on it.
+    if (quota)
+        std::snprintf(buf, sizeof(buf), "      \"quota\": \"%llu\",\n",
+                      static_cast<unsigned long long>(quota));
+    else
+        std::snprintf(buf, sizeof(buf),
+                      "      \"quota\": \"default\",\n");
     e += buf;
     // Live telemetry (ROWSIM_TS / ROWSIM_HEARTBEAT): the time-series
     // engine samples every stats interval and the heartbeat writes
@@ -162,10 +193,16 @@ int
 main(int argc, char **argv)
 {
     const char *path = argc > 1 ? argv[1] : "BENCH_perf.json";
+    const std::uint64_t quota =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+    std::vector<std::string> workloads(argv + std::min(argc, 3),
+                                       argv + argc);
+    if (workloads.empty())
+        workloads = atomicIntensiveWorkloads();
 
     std::vector<Sample> samples;
-    for (const auto &w : atomicIntensiveWorkloads()) {
-        samples.push_back(measure(w));
+    for (const auto &w : workloads) {
+        samples.push_back(measure(w, quota));
         std::printf("%-15s %12llu cycles  %9.1f ms  %11.0f cyc/s\n",
                     samples.back().workload.c_str(),
                     static_cast<unsigned long long>(
@@ -198,7 +235,7 @@ main(int argc, char **argv)
     std::fprintf(out, "[\n");
     if (!inner.empty())
         std::fprintf(out, "%s,\n", inner.c_str());
-    std::fprintf(out, "%s\n]\n", renderEntry(samples).c_str());
+    std::fprintf(out, "%s\n]\n", renderEntry(samples, quota).c_str());
     std::fclose(out);
     std::printf("appended to %s\n", path);
     return 0;

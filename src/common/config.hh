@@ -245,6 +245,17 @@ struct SystemParams
      *  mean, is <= rel_halfwidth at the given confidence (default
      *  0.95); the iteration quota stays the upper bound. */
     std::string converge;
+
+    // ---- execution mode (src/sim/funcmode.cc) ----
+
+    /** Execution mode: "detail" (cycle-accurate out-of-order pipeline)
+     *  or "func" (multi-instruction-per-tick functional interpreter
+     *  that keeps caches, directory state, and branch/RoW predictors
+     *  warm while skipping ROB/LSQ/AQ bookkeeping). Empty = the
+     *  ROWSIM_MODE env var, or detail. Deliberately excluded from
+     *  configFingerprint: checkpoints written by a functional warm-up
+     *  restore into a detail run of the same architectural config. */
+    std::string mode;
 };
 
 } // namespace rowsim

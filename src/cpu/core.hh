@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <map>
 #include <queue>
 #include <set>
@@ -126,6 +127,22 @@ class Core : public MemClient
      *  stats pass. */
     void save(Ser &s) const;
     void restore(Deser &d);
+
+    /**
+     * Functional fast-mode step (src/sim/funcmode.cc): architecturally
+     * retire up to @p max_ops micro-ops straight from the stream.
+     * Loads/stores/atomics call @p access(addr, exclusive) — the
+     * synchronous MemSystem::funcAccess path — whose return value
+     * (remote cache-to-cache transfer) stands in for the Dir
+     * detector's contention evidence when training the RoW predictor.
+     * Branches train the branch predictor exactly as dispatch does.
+     * Stops early once @p iter_limit iterations or @p inst_limit
+     * committed instructions are reached (0 = unbounded), or when the
+     * core is halted. @return micro-ops retired.
+     */
+    std::uint64_t funcRun(const std::function<bool(Addr, bool)> &access,
+                          unsigned max_ops, std::uint64_t iter_limit,
+                          std::uint64_t inst_limit, Cycle now);
 
   private:
     /** Per-atomic execution progress. */

@@ -127,14 +127,19 @@ CacheArray::save(Ser &s) const
     for (const Line &l : lines)
         valid += l.valid();
     s.u64(valid);
+    // Compact encoding: slot indices as ascending deltas, tags with the
+    // always-zero line-offset bits shifted off, LRU stamps as varints.
+    // Large arrays are second only to the directory in image size.
+    std::uint64_t prevSlot = 0;
     for (std::size_t i = 0; i < lines.size(); i++) {
         const Line &l = lines[i];
         if (!l.valid())
             continue;
-        s.u32(static_cast<std::uint32_t>(i));
-        s.u64(l.tag);
+        s.vu64(i - prevSlot);
+        prevSlot = i;
+        s.vu64(l.tag >> 6); // tags are lineAlign()ed: low 6 bits zero
         s.u8(static_cast<std::uint8_t>(l.state));
-        s.u64(l.lastUse);
+        s.vu64(l.lastUse);
     }
 }
 
@@ -152,17 +157,19 @@ CacheArray::restore(Deser &d)
     }
     std::fill(lines.begin(), lines.end(), Line{});
     const std::uint64_t valid = d.u64();
+    std::uint64_t prevSlot = 0;
     for (std::uint64_t k = 0; k < valid; k++) {
-        const std::uint32_t i = d.u32();
+        const std::uint64_t i = prevSlot + d.vu64();
+        prevSlot = i;
         if (i >= lines.size()) {
             throw SnapshotError(strprintf(
-                "cache array slot %u out of range (%zu lines)", i,
-                lines.size()));
+                "cache array slot %llu out of range (%zu lines)",
+                static_cast<unsigned long long>(i), lines.size()));
         }
         Line &l = lines[i];
-        l.tag = d.u64();
+        l.tag = d.vu64() << 6;
         l.state = static_cast<CacheState>(d.u8());
-        l.lastUse = d.u64();
+        l.lastUse = d.vu64();
     }
 }
 

@@ -1,5 +1,8 @@
 #include "mem/directory.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "sim/snapshot.hh"
@@ -387,6 +390,54 @@ Directory::testSetLine(Addr line, DirState state, CoreId owner,
     e.sharers = sharers;
 }
 
+std::uint64_t
+Directory::lineSharers(Addr line) const
+{
+    auto it = entries.find(lineAlign(line));
+    return it == entries.end() ? 0 : it->second.sharers;
+}
+
+void
+Directory::funcSetLine(Addr line, DirState state, CoreId owner,
+                       std::uint64_t sharers)
+{
+    line = lineAlign(line);
+    Entry &e = entries[line];
+    ROWSIM_ASSERT(e.state != DirState::Blocked,
+                  "funcSetLine on in-flight line %#lx",
+                  static_cast<unsigned long>(line));
+    e.state = state;
+    e.owner = owner;
+    e.sharers = sharers;
+}
+
+void
+Directory::funcWriteback(Addr line, CoreId evictor, Cycle now)
+{
+    line = lineAlign(line);
+    Entry &e = entries[line];
+    ROWSIM_ASSERT(e.state != DirState::Blocked,
+                  "funcWriteback on in-flight line %#lx",
+                  static_cast<unsigned long>(line));
+    if (e.state == DirState::Modified && e.owner == evictor) {
+        auto *way = llcArray.victim(line, nullptr, now);
+        llcArray.fill(way, line, CacheState::Shared, now);
+        e.state = DirState::Invalid;
+        e.owner = invalidCore;
+        e.sharers = 0;
+    }
+}
+
+void
+Directory::funcTouchLlc(Addr line, Cycle now)
+{
+    line = lineAlign(line);
+    if (llcArray.lookup(line, now))
+        return;
+    auto *way = llcArray.victim(line, nullptr, now);
+    llcArray.fill(way, line, CacheState::Shared, now);
+}
+
 void
 Directory::dumpDiag(std::FILE *out, Cycle now) const
 {
@@ -436,16 +487,53 @@ Directory::save(Ser &s) const
     s.section("directory");
     s.u32(bankIndex);
 
+    // A dataMsg still holding its default-constructed field values —
+    // the state on any line that never carried an in-flight data reply,
+    // notably every line a functional run touched.
+    const auto msgIsDefault = [](const Msg &m) {
+        return m.type == MsgType::GetS && m.line == invalidAddr &&
+               m.src == 0 && m.dst == 0 && m.requester == invalidCore &&
+               !m.fromPrivateCache && !m.excl && !m.fromMemory &&
+               !m.contentionHint && m.sent == 0;
+    };
+    // An entry with every transaction-in-flight field at its default
+    // serializes as a 1-byte flag plus owner/sharers instead of the
+    // full ~100-byte transaction record. The directory's full-map
+    // entries are the bulk of a long run's checkpoint (one per line
+    // ever touched, and almost all of them idle), so this fast path —
+    // not fmem — is what keeps images small.
+    const auto entryQuiescent = [&](const Entry &e) {
+        return e.txnRequester == invalidCore &&
+               e.nextState == DirState::Invalid &&
+               e.nextOwner == invalidCore && e.nextSharers == 0 &&
+               e.pendingAcks == 0 && e.dataReady == invalidCycle &&
+               !e.dataPending && msgIsDefault(e.dataMsg) &&
+               e.blockedSince == invalidCycle && e.queued.empty();
+    };
+
     // Sorted key order: images must not depend on hash iteration order.
-    std::map<Addr, const Entry *> sorted;
+    // Flat copy + sort, not std::map — a node allocation per line is
+    // measurable at checkpoint cadence on full-map directories.
+    std::vector<std::pair<Addr, const Entry *>> sorted;
+    sorted.reserve(entries.size());
     for (const auto &kv : entries)
-        sorted.emplace(kv.first, &kv.second);
+        sorted.emplace_back(kv.first, &kv.second);
+    std::sort(sorted.begin(), sorted.end());
     s.u64(sorted.size());
+    Addr prevLine = 0;
     for (const auto &[line, e] : sorted) {
-        s.u64(line);
-        s.u8(static_cast<std::uint8_t>(e->state));
-        s.u64(e->sharers);
-        s.u32(e->owner);
+        s.vu64(line - prevLine);
+        prevLine = line;
+        // Flag byte: stable-state number, top bit = quiescent (no
+        // transaction record follows). Owner travels +1 so invalidCore
+        // (u32 max) encodes as a single zero byte.
+        const bool quiet = entryQuiescent(*e);
+        s.u8(static_cast<std::uint8_t>(e->state) |
+             (quiet ? 0x80 : 0));
+        s.vu64(e->sharers);
+        s.vu64(e->owner == invalidCore ? 0 : e->owner + 1ULL);
+        if (quiet)
+            continue;
         s.u32(e->txnRequester);
         s.u8(static_cast<std::uint8_t>(e->nextState));
         s.u32(e->nextOwner);
@@ -489,12 +577,21 @@ Directory::restore(Deser &d)
 
     entries.clear();
     const std::uint64_t nEntries = d.u64();
+    Addr prevLine = 0;
     for (std::uint64_t i = 0; i < nEntries; i++) {
-        const Addr line = d.u64();
+        const Addr line = prevLine + d.vu64();
+        prevLine = line;
         Entry &e = entries[line];
-        e.state = static_cast<DirState>(d.u8());
-        e.sharers = d.u64();
-        e.owner = d.u32();
+        // Flag byte from save(): low bits = stable state, top bit =
+        // quiescent (transaction fields stay default-constructed).
+        const std::uint8_t flag = d.u8();
+        e.state = static_cast<DirState>(flag & 0x7f);
+        e.sharers = d.vu64();
+        const std::uint64_t owner = d.vu64();
+        e.owner = owner == 0 ? invalidCore
+                             : static_cast<CoreId>(owner - 1);
+        if (flag & 0x80)
+            continue;
         e.txnRequester = d.u32();
         e.nextState = static_cast<DirState>(d.u8());
         e.nextOwner = d.u32();

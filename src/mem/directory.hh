@@ -126,6 +126,27 @@ class Directory : public MsgHandler
     void testSetLine(Addr line, DirState state, CoreId owner,
                      std::uint64_t sharers);
 
+    // ---- functional fast-mode hooks (src/sim/funcmode.cc) ----
+    //
+    // The functional interpreter applies each request's protocol *end
+    // state* synchronously — no messages, no Blocked transients — so a
+    // snapshot taken at a func-mode cycle boundary holds only stable
+    // coherence states. These hooks assert the entry is not mid-flight.
+
+    /** Sharer bitmask of @p line (0 when untracked). */
+    std::uint64_t lineSharers(Addr line) const;
+    /** Overwrite one entry's stable state with a transaction's end
+     *  state (refuses Blocked entries: func mode never runs while a
+     *  detail transaction is in flight). */
+    void funcSetLine(Addr line, DirState state, CoreId owner,
+                     std::uint64_t sharers);
+    /** Apply a clean writeback's end state (PutM from the owner):
+     *  entry Invalid, data presence in the LLC array. */
+    void funcWriteback(Addr line, CoreId evictor, Cycle now);
+    /** Install LLC data presence for a fill served by LLC/memory,
+     *  mirroring dataLatency()'s insertion (latency discarded). */
+    void funcTouchLlc(Addr line, Cycle now);
+
     /** Architectural state: entries (including Blocked transients and
      *  their queued requests), wake schedule, stall buffer, LLC array.
      *  Stats travel in the System's stats pass. */

@@ -561,6 +561,61 @@ PrivateCache::testSetLineState(Addr line, CacheState state, Cycle now)
 }
 
 void
+PrivateCache::funcInstall(Addr line, CacheState state, Cycle now,
+                          std::vector<Addr> *evicted_dirty)
+{
+    line = lineAlign(line);
+    if (auto *present = l2Array.lookup(line, now)) {
+        present->state = state;
+    } else {
+        auto *way = l2Array.victim(line, nullptr, now);
+        ROWSIM_ASSERT(way != nullptr, "funcInstall: no victim way");
+        if (way->valid()) {
+            if (way->state == CacheState::Modified && evicted_dirty)
+                evicted_dirty->push_back(way->tag);
+            l1Array.invalidate(way->tag);
+            way->state = CacheState::Invalid;
+            way->tag = invalidAddr;
+            way->lastUse = 0; // canonical invalid slot (CacheArray::save)
+        }
+        l2Array.fill(way, line, state, now);
+    }
+
+    if (auto *l1present = l1Array.lookup(line, now)) {
+        l1present->state = state;
+    } else {
+        auto *l1way = l1Array.victim(line, nullptr, now);
+        if (l1way)
+            l1Array.fill(l1way, line, state, now);
+    }
+}
+
+CacheState
+PrivateCache::funcDropLine(Addr line)
+{
+    line = lineAlign(line);
+    const CacheState was = lineState(line);
+    if (was != CacheState::Invalid) {
+        l1Array.invalidate(line);
+        l2Array.invalidate(line);
+    }
+    return was;
+}
+
+bool
+PrivateCache::funcDowngrade(Addr line, Cycle now)
+{
+    line = lineAlign(line);
+    auto *present = l2Array.lookup(line, now);
+    if (!present)
+        return false;
+    present->state = CacheState::Shared;
+    if (auto *l1present = l1Array.lookup(line, now))
+        l1present->state = CacheState::Shared;
+    return true;
+}
+
+void
 PrivateCache::dumpDiag(std::FILE *out, Cycle now) const
 {
     std::fprintf(out,

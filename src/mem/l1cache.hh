@@ -212,6 +212,27 @@ class PrivateCache : public MsgHandler
      *  in @p state, bypassing the protocol (checker death tests). */
     void testSetLineState(Addr line, CacheState state, Cycle now);
 
+    // ---- functional fast-mode hooks (src/sim/funcmode.cc) ----
+    //
+    // Message-free variants of install/evict for the functional
+    // interpreter: replacement decisions go through the same LRU arrays
+    // (so func-warmed contents match what a detail run would favour),
+    // but dirty victims are returned to the caller instead of emitting
+    // a PutM — MemSystem::funcAccess applies the writeback end state at
+    // the home bank synchronously, leaving nothing in flight.
+
+    /** Install @p line in both arrays; no pin checks (the AQ is empty
+     *  in func mode). Dirty (Modified) coherence-array victims are
+     *  appended to @p evicted_dirty. */
+    void funcInstall(Addr line, CacheState state, Cycle now,
+                     std::vector<Addr> *evicted_dirty);
+    /** Drop @p line from both arrays (FwdGetX / Inv end state).
+     *  @return the coherence state it held, Invalid when absent. */
+    CacheState funcDropLine(Addr line);
+    /** Downgrade @p line Modified -> Shared (FwdGetS end state).
+     *  @return true when the line was present. */
+    bool funcDowngrade(Addr line, Cycle now);
+
     /** Architectural state: arrays, MSHRs, buffers, due completions.
      *  Stats travel in the System's stats pass. */
     void save(Ser &s) const;

@@ -1,6 +1,7 @@
 #include "mem/memsystem.hh"
 
-#include <map>
+#include <algorithm>
+#include <vector>
 
 #include "sim/snapshot.hh"
 
@@ -62,15 +63,83 @@ MemSystem::idle() const
     return true;
 }
 
+bool
+MemSystem::funcAccess(CoreId c, Addr addr, bool exclusive, Cycle now)
+{
+    const Addr line = lineAlign(addr);
+    const unsigned cores = static_cast<unsigned>(caches.size());
+    Directory &home = *banks[net.homeBank(line) - cores];
+    const auto bit = [](CoreId id) { return 1ULL << id; };
+
+    const CacheState mine = caches[c]->lineState(line);
+    if (mine == CacheState::Modified ||
+        (!exclusive && mine != CacheState::Invalid)) {
+        return false; // hit with sufficient permission
+    }
+
+    bool remote = false;
+    std::vector<Addr> dirtyVictims;
+
+    if (exclusive) {
+        // GetX end state: every other copy dropped, requester Modified,
+        // directory M/{requester}/no sharers. An M holder elsewhere is
+        // the cache-to-cache forward detail mode serves via FwdGetX.
+        for (CoreId o = 0; o < cores; o++) {
+            if (o != c && caches[o]->funcDropLine(line) ==
+                              CacheState::Modified) {
+                remote = true;
+            }
+        }
+        if (!remote)
+            home.funcTouchLlc(line, now);
+        caches[c]->funcInstall(line, CacheState::Modified, now,
+                               &dirtyVictims);
+        home.funcSetLine(line, DirState::Modified, c, 0);
+    } else {
+        // GetS end state: an M owner is downgraded and becomes a
+        // sharer (FwdGetS), otherwise data comes from the LLC/memory.
+        std::uint64_t sharers = home.lineSharers(line) | bit(c);
+        if (home.lineState(line) == DirState::Modified) {
+            const CoreId o = home.lineOwner(line);
+            if (o != invalidCore && o != c &&
+                caches[o]->funcDowngrade(line, now)) {
+                remote = true;
+                sharers |= bit(o);
+            }
+        }
+        if (!remote)
+            home.funcTouchLlc(line, now);
+        caches[c]->funcInstall(line, CacheState::Shared, now,
+                               &dirtyVictims);
+        home.funcSetLine(line, DirState::Shared, invalidCore, sharers);
+    }
+
+    // Dirty victims of the install: apply the PutM end state at each
+    // victim's own home bank (data presence moves to the LLC).
+    for (Addr v : dirtyVictims)
+        banks[net.homeBank(v) - cores]->funcWriteback(v, c, now);
+    return remote;
+}
+
 void
 FunctionalMemory::save(Ser &s) const
 {
     s.section("fmem");
-    std::map<Addr, std::uint64_t> sorted(words.begin(), words.end());
+    // The value memory reaches millions of words on long runs and is
+    // the bulk of every checkpoint and functional digest, so this path
+    // is deliberately cheap: a sorted flat copy (no per-word std::map
+    // node), then delta-varint encoding — address gaps are mostly one
+    // word (streams touch consecutive addresses) and data words are
+    // mostly small, so an entry costs ~2-4 bytes instead of 16.
+    std::vector<std::pair<Addr, std::uint64_t>> sorted(words.begin(),
+                                                       words.end());
+    std::sort(sorted.begin(), sorted.end());
     s.u64(sorted.size());
+    Addr prev = 0;
     for (const auto &[addr, value] : sorted) {
-        s.u64(addr);
-        s.u64(value);
+        s.vu64(addr - prev);
+        prev = addr;
+        s.vu64(value);
     }
 }
 
@@ -80,9 +149,12 @@ FunctionalMemory::restore(Deser &d)
     d.section("fmem");
     words.clear();
     const std::uint64_t n = d.u64();
+    words.reserve(n);
+    Addr prev = 0;
     for (std::uint64_t i = 0; i < n; i++) {
-        const Addr addr = d.u64();
-        words[addr] = d.u64();
+        const Addr addr = prev + d.vu64();
+        prev = addr;
+        words[addr] = d.vu64();
     }
 }
 

@@ -70,6 +70,23 @@ class MemSystem
     /** Advance all memory-side components one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Functional fast-mode access (src/sim/funcmode.cc): apply the MSI
+     * protocol's end state for one request synchronously — requester
+     * cache and LRU arrays warmed, remote copies dropped/downgraded,
+     * directory entry and LLC presence updated, dirty victims written
+     * back — with no message ever in flight. Must only be called when
+     * the memory system is idle (func mode never overlaps a detail
+     * transaction).
+     *
+     * @param exclusive store or atomic (GetX end state) vs load (GetS)
+     * @return true when the data came from a remote private cache (the
+     *         owner forward that detail mode reports as
+     *         FillSource::RemoteCache — the RoW Dir detector's
+     *         contention evidence)
+     */
+    bool funcAccess(CoreId core, Addr addr, bool exclusive, Cycle now);
+
     /** True when no message, miss, or transaction is outstanding. */
     bool idle() const;
 

@@ -14,6 +14,7 @@
 #include "common/trace.hh"
 #include "sim/profiles.hh"
 #include "sim/resultstore.hh"
+#include "sim/sampling.hh"
 #include "sim/snapshot.hh"
 #include "sim/system.hh"
 #include "sim/workloads.hh"
@@ -74,6 +75,8 @@ RunResult::toJson() const
         j += ",\"spans\":" + spanJson;
     if (!tsJson.empty())
         j += ",\"timeseries\":" + tsJson;
+    if (!samplingJson.empty())
+        j += ",\"sampling\":" + samplingJson;
     if (!convergeMetric.empty()) {
         j += strprintf(
             ",\"converge\":{\"metric\":\"%s\",\"target\":%.6g,"
@@ -218,7 +221,24 @@ makeParams(const ExpConfig &cfg, unsigned num_cores, std::uint64_t seed)
     sp.spans = cfg.spans;
     sp.timeseries = cfg.timeseries;
     sp.converge = cfg.converge;
+    sp.mode = cfg.mode;
     return sp;
+}
+
+bool
+funcModeFor(const SystemParams &params)
+{
+    std::string m = params.mode;
+    if (m.empty()) {
+        if (const char *env = std::getenv("ROWSIM_MODE"); env && *env)
+            m = env;
+    }
+    if (m.empty() || m == "detail")
+        return false;
+    if (m == "func")
+        return true;
+    ROWSIM_FATAL("bad ROWSIM_MODE '%s' (valid: detail, func)", m.c_str());
+    return false;
 }
 
 namespace
@@ -468,6 +488,20 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     if (quota == 0)
         quota = defaultQuota(workload);
 
+    // ROWSIM_SAMPLE=<n>:<warm>:<detail>: divert to SMARTS-style
+    // checkpointed sampling — functional warm-up to a checkpoint grid,
+    // short detail windows from each checkpoint (sweep jobs, so they
+    // cache and parallelize individually), batch-means aggregation. The
+    // windows go through the result store themselves; the aggregate
+    // bypasses it.
+    if (const SampleSpec sample = sampleSpecFromEnv(); sample.active) {
+        RunResult r = runSampled(workload, sp, label, quota, sample);
+        emitRunSinks(r);
+        return r;
+    }
+
+    const bool funcMode = funcModeFor(sp);
+
     // Content-addressed result store (ROWSIM_RESULTS=on): serve a prior
     // identical run from disk instead of re-simulating. Bypassed when
     // the caller needs live-System side artifacts a cached RunResult
@@ -504,7 +538,11 @@ runAndCollect(const std::string &workload, const SystemParams &sp,
     RunResult r;
     r.workload = workload;
     r.config = label;
-    r.cycles = runMaybeCheckpointed(sys, workload, label, quota);
+    // Functional fast mode retires the whole quota architecturally;
+    // the warmup-checkpoint shortcut is pointless there (the func run
+    // IS the fast path) and is ignored.
+    r.cycles = funcMode ? sys.runFunctional(quota)
+                        : runMaybeCheckpointed(sys, workload, label, quota);
 
     r.instructions = sys.totalInstructions();
     r.atomicsCommitted = sys.totalAtomics();

@@ -42,6 +42,9 @@ struct ExpConfig
      *  ("<metric>:<rel_halfwidth>[:<confidence>]"); empty defers to the
      *  ROWSIM_CONVERGE environment. Implies the time-series engine. */
     std::string converge;
+    /** Execution mode ("detail"/"func"); empty defers to the
+     *  ROWSIM_MODE environment. */
+    std::string mode;
 };
 
 /** Outcome of one run. Anything but Ok means the metric fields are
@@ -137,6 +140,13 @@ struct RunResult
      *  otherwise. */
     std::string tsJson;
 
+    /** Sampled-run summary (SMARTS-style checkpointed sampling,
+     *  ROWSIM_SAMPLE): checkpoint grid, per-window detail results, and
+     *  batch-means confidence intervals, as one JSON object. Empty
+     *  unless sampling was active; rides along in toJson() as
+     *  "sampling" so non-sampled reports stay byte-identical. */
+    std::string samplingJson;
+
     /** Convergence-bounded run outcome; meaningful only when a
      *  convergence spec was active (convergeMetric non-empty). */
     std::string convergeMetric;
@@ -181,6 +191,13 @@ RunResult runExperiment(const std::string &workload, const ExpConfig &cfg,
 /** Build the SystemParams for a config (exposed for tests). */
 SystemParams makeParams(const ExpConfig &cfg, unsigned num_cores,
                         std::uint64_t seed);
+
+/** Resolve the execution mode for @p params — SystemParams::mode when
+ *  set, else the ROWSIM_MODE environment, else detail. True means the
+ *  functional fast-mode interpreter; anything but "detail"/"func" is a
+ *  user error (fatal). Shared by the run path and the result-store key
+ *  (the two must never disagree on what a key means). */
+bool funcModeFor(const SystemParams &params);
 
 /**
  * Run @p workload with explicit SystemParams — the entry point for

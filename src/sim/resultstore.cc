@@ -78,6 +78,7 @@ encodeResult(const RunResult &r)
     s.str(r.profileJson);
     s.str(r.spanJson);
     s.str(r.tsJson);
+    s.str(r.samplingJson);
     return s.bytes();
 }
 
@@ -135,6 +136,7 @@ decodeResult(const std::vector<std::uint8_t> &payload)
     r.profileJson = d.str();
     r.spanJson = d.str();
     r.tsJson = d.str();
+    r.samplingJson = d.str();
     d.expectEnd();
     return r;
 }
@@ -225,6 +227,10 @@ ResultStore::keyFor(const SystemParams &params, const std::string &workload,
     s.str(conv.metric);
     s.f64(conv.relHalfwidth);
     s.f64(conv.confidence);
+    // The execution mode is deliberately outside the fingerprint (so
+    // checkpoints interchange between modes) but changes every metric
+    // a run produces — it must key the store.
+    s.str(funcModeFor(params) ? "func" : "detail");
 
     Sha256 h;
     h.update(s.bytes().data(), s.bytes().size());

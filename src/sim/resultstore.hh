@@ -44,8 +44,11 @@ struct SystemParams;
 /** Version of the serialized RunResult payload. Bumped on any layout
  *  change; it is part of the key preimage, so a bump turns every old
  *  entry into a clean miss instead of a decode error.
- *  v2: time-series blob + convergence outcome fields. */
-constexpr std::uint32_t resultSchemaVersion = 2;
+ *  v2: time-series blob + convergence outcome fields.
+ *  v3: sampling summary blob; the resolved execution mode keys the
+ *      store (a func run and a detail run share a fingerprint by
+ *      design — checkpoints interchange — but not results). */
+constexpr std::uint32_t resultSchemaVersion = 3;
 
 /** SHA-256 store key. */
 using ResultKey = std::array<std::uint8_t, 32>;

@@ -1,0 +1,534 @@
+#include "sim/sampling.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+
+#include "common/heartbeat.hh"
+#include "common/log.hh"
+#include "common/timeseries.hh"
+#include "common/trace.hh"
+#include "sim/profile.hh"
+#include "sim/profiles.hh"
+#include "sim/resultstore.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+namespace rowsim
+{
+
+SampleSpec
+parseSampleSpec(const char *name, const std::string &spec)
+{
+    SampleSpec s;
+    if (spec.empty())
+        return s;
+    unsigned n = 0;
+    unsigned long long warm = 0, detail = 0;
+    double conf = 0.95;
+    char junk = 0;
+    const int got = std::sscanf(spec.c_str(), "%u:%llu:%llu:%lf%c", &n,
+                                &warm, &detail, &conf, &junk);
+    if (got != 3 && got != 4) {
+        ROWSIM_FATAL("bad %s '%s' (want <n_ckpts>:<warm>:<detail>"
+                     "[:<confidence>], iterations per core)",
+                     name, spec.c_str());
+    }
+    if (n < 1 || detail < 1) {
+        ROWSIM_FATAL("bad %s '%s': need at least 1 checkpoint and 1 "
+                     "measured iteration",
+                     name, spec.c_str());
+    }
+    if (!(conf > 0.0 && conf < 1.0)) {
+        ROWSIM_FATAL("bad %s '%s': confidence must be in (0, 1)", name,
+                     spec.c_str());
+    }
+    s.active = true;
+    s.checkpoints = n;
+    s.warmIters = warm;
+    s.detailIters = detail;
+    s.confidence = conf;
+    return s;
+}
+
+SampleSpec
+sampleSpecFromEnv()
+{
+    if (const char *env = std::getenv("ROWSIM_SAMPLE"); env && *env)
+        return parseSampleSpec("ROWSIM_SAMPLE", env);
+    return {};
+}
+
+std::vector<std::uint64_t>
+sampleGrid(std::uint64_t quota, unsigned n)
+{
+    std::vector<std::uint64_t> g(n);
+    for (unsigned k = 0; k < n; k++)
+        g[k] = quota * k / n;
+    return g;
+}
+
+namespace
+{
+
+/** Additive counters snapshotted before the measured segment so the
+ *  window reports deltas (the detail warm-up and — for the instruction
+ *  counters — the functional prefix are both excluded). */
+struct CounterBaseline
+{
+    Cycle cycle = 0;
+    std::uint64_t insts = 0, atomics = 0;
+    std::uint64_t unlocked = 0, detected = 0, oracle = 0;
+    std::uint64_t forwarded = 0, promoted = 0, forced = 0;
+    std::uint64_t eager = 0, lazy = 0;
+    std::uint64_t predUpdates = 0, predCorrect = 0;
+};
+
+CounterBaseline
+snapshotCounters(System &sys)
+{
+    CounterBaseline b;
+    b.cycle = sys.now();
+    b.insts = sys.totalInstructions();
+    b.atomics = sys.totalAtomics();
+    b.unlocked = sys.totalCounter("atomicsUnlocked");
+    b.detected = sys.totalCounter("atomicsDetectedContended");
+    b.oracle = sys.totalCounter("atomicsOracleContended");
+    b.forwarded = sys.totalCounter("atomicsForwarded");
+    b.promoted = sys.totalCounter("atomicsPromotedEager");
+    b.forced = sys.totalCounter("forcedUnlocks");
+    b.eager = sys.totalCounter("atomicsIssuedEager");
+    b.lazy = sys.totalCounter("atomicsIssuedLazy");
+    for (CoreId c = 0; c < sys.numCores(); c++) {
+        b.predUpdates +=
+            sys.core(c).predictor().stats().counterValue("updates");
+        b.predCorrect +=
+            sys.core(c).predictor().stats().counterValue("correct");
+    }
+    return b;
+}
+
+/** Same filename discipline as the warmup-checkpoint path in
+ *  experiment.cc: everything deciding the func-warm trajectory is in
+ *  the name, the embedded config fingerprint backstops the rest. */
+std::string
+sampleCkptPath(const std::string &workload, const std::string &label,
+               unsigned num_cores, std::uint64_t seed,
+               std::uint64_t quota, unsigned n_ckpts, unsigned k)
+{
+    const char *dir_env = std::getenv("ROWSIM_CKPT_DIR");
+    const std::string dir = (dir_env && *dir_env) ? dir_env : "rowsim-ckpt";
+    auto sanitize = [](const std::string &in) {
+        std::string out;
+        for (const char ch : in) {
+            out += std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_';
+        }
+        return out;
+    };
+    return dir + "/" + sanitize(workload) + "-" + sanitize(label) +
+           strprintf("-c%u-s%llu-q%llu-n%u-k%u.fckpt", num_cores,
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(quota), n_ckpts, k);
+}
+
+/** Window reporting label; also the store key's label component, so it
+ *  encodes everything of the sampling layout the window depends on. */
+std::string
+windowLabel(const std::string &label, const SampleSpec &spec,
+            std::uint64_t quota, unsigned k)
+{
+    return label + strprintf("#s%u.%llu.%llu.q%llu.k%u", spec.checkpoints,
+                             static_cast<unsigned long long>(spec.warmIters),
+                             static_cast<unsigned long long>(
+                                 spec.detailIters),
+                             static_cast<unsigned long long>(quota), k);
+}
+
+/** One aggregated metric: how to read it from a window result, how to
+ *  write the whole-run value back into the aggregate result, and
+ *  whether the window value is an additive count (extrapolated by
+ *  quota / detailIters) or already a rate/mean. */
+struct MetricDef
+{
+    const char *name;
+    double (*get)(const RunResult &);
+    void (*set)(RunResult &, double);
+    bool extrapolate;
+};
+
+constexpr MetricDef kSampledMetrics[] = {
+    {"cycles", [](const RunResult &w) { return double(w.cycles); },
+     [](RunResult &r, double v) {
+         r.cycles = static_cast<Cycle>(std::llround(v));
+     },
+     true},
+    {"instructions",
+     [](const RunResult &w) { return double(w.instructions); },
+     [](RunResult &r, double v) {
+         r.instructions = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"atomicsCommitted",
+     [](const RunResult &w) { return double(w.atomicsCommitted); },
+     [](RunResult &r, double v) {
+         r.atomicsCommitted = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"atomicsUnlocked",
+     [](const RunResult &w) { return double(w.atomicsUnlocked); },
+     [](RunResult &r, double v) {
+         r.atomicsUnlocked = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"detectedContended",
+     [](const RunResult &w) { return double(w.detectedContended); },
+     [](RunResult &r, double v) {
+         r.detectedContended = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"oracleContended",
+     [](const RunResult &w) { return double(w.oracleContended); },
+     [](RunResult &r, double v) {
+         r.oracleContended = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"atomicsForwarded",
+     [](const RunResult &w) { return double(w.atomicsForwarded); },
+     [](RunResult &r, double v) {
+         r.atomicsForwarded = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"atomicsPromoted",
+     [](const RunResult &w) { return double(w.atomicsPromoted); },
+     [](RunResult &r, double v) {
+         r.atomicsPromoted = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"forcedUnlocks",
+     [](const RunResult &w) { return double(w.forcedUnlocks); },
+     [](RunResult &r, double v) {
+         r.forcedUnlocks = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"eagerIssued",
+     [](const RunResult &w) { return double(w.eagerIssued); },
+     [](RunResult &r, double v) {
+         r.eagerIssued = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"lazyIssued", [](const RunResult &w) { return double(w.lazyIssued); },
+     [](RunResult &r, double v) {
+         r.lazyIssued = static_cast<std::uint64_t>(std::llround(v));
+     },
+     true},
+    {"atomicsPer10k",
+     [](const RunResult &w) { return w.atomicsPer10k; },
+     [](RunResult &r, double v) { r.atomicsPer10k = v; }, false},
+    {"contendedPct", [](const RunResult &w) { return w.contendedPct; },
+     [](RunResult &r, double v) { r.contendedPct = v; }, false},
+    {"missLatency", [](const RunResult &w) { return w.missLatency; },
+     [](RunResult &r, double v) { r.missLatency = v; }, false},
+    {"dispatchToIssue",
+     [](const RunResult &w) { return w.dispatchToIssue; },
+     [](RunResult &r, double v) { r.dispatchToIssue = v; }, false},
+    {"issueToLock", [](const RunResult &w) { return w.issueToLock; },
+     [](RunResult &r, double v) { r.issueToLock = v; }, false},
+    {"lockToUnlock", [](const RunResult &w) { return w.lockToUnlock; },
+     [](RunResult &r, double v) { r.lockToUnlock = v; }, false},
+    {"olderUnexecuted",
+     [](const RunResult &w) { return w.olderUnexecuted; },
+     [](RunResult &r, double v) { r.olderUnexecuted = v; }, false},
+    {"youngerStarted",
+     [](const RunResult &w) { return w.youngerStarted; },
+     [](RunResult &r, double v) { r.youngerStarted = v; }, false},
+    {"predAccuracy", [](const RunResult &w) { return w.predAccuracy; },
+     [](RunResult &r, double v) { r.predAccuracy = v; }, false},
+};
+
+/** Refuse observability setups the checkpoint format cannot carry /
+ *  the sampling layout would distort. Resolution mirrors
+ *  System::setupObservability (params override environment). */
+void
+checkSamplingCompatible(const SystemParams &params)
+{
+    const std::uint32_t profMask =
+        params.profileCategories.empty()
+            ? Profiler::envMask()
+            : parseProfileCategories(params.profileCategories);
+    if (profMask) {
+        ROWSIM_FATAL("ROWSIM_SAMPLE is incompatible with the attribution "
+                     "profiler (checkpoints do not carry its state); "
+                     "disable ROWSIM_PROFILE");
+    }
+    std::string convSpec = params.converge;
+    if (convSpec.empty()) {
+        if (const char *env = std::getenv("ROWSIM_CONVERGE"); env && *env)
+            convSpec = env;
+    }
+    if (parseConvergeSpec("ROWSIM_CONVERGE", convSpec).active) {
+        ROWSIM_FATAL("ROWSIM_SAMPLE is incompatible with "
+                     "ROWSIM_CONVERGE (the stop cycle would depend on "
+                     "the sampling layout)");
+    }
+}
+
+} // namespace
+
+RunResult
+runDetailWindow(const SweepJob &job)
+{
+    SystemParams sp = job.windowParams;
+    sp.mode = "detail";
+    const std::uint64_t stop =
+        job.windowStartIters + job.windowWarmIters + job.windowIters;
+
+    // Windows are first-class store citizens: a sampled rerun with the
+    // same layout restores, at most, nothing. Same live-sink bypass
+    // rules as runAndCollect (a cached window emits no telemetry).
+    Trace::initFromEnv();
+    std::unique_ptr<ResultStore> store = ResultStore::fromEnv();
+    const char *statsSink = std::getenv("ROWSIM_STATS_JSON");
+    const bool bypassStore = (statsSink && *statsSink) ||
+                             Trace::anyEnabled() || Heartbeat::enabled();
+    ResultKey key{};
+    if (store && !bypassStore) {
+        key = ResultStore::keyFor(sp, job.workload, job.cfg.label, stop);
+        RunResult cached;
+        if (store->load(key, cached)) {
+            if (!job.captureStatsJson || !cached.statsJson.empty()) {
+                if (!job.captureStatsJson)
+                    cached.statsJson.clear();
+                cached.fromCache = true;
+                return cached;
+            }
+        }
+    }
+
+    const WorkloadProfile profile = profileFor(job.workload);
+    System sys(sp, makeStreams(profile, sp.numCores, sp.seed));
+    sys.restoreCheckpoint(job.ckptPath);
+    if (job.windowWarmIters)
+        sys.runWarmup(stop, job.windowStartIters + job.windowWarmIters);
+
+    const CounterBaseline base = snapshotCounters(sys);
+    const Cycle end = sys.run(stop);
+
+    RunResult r;
+    r.workload = job.workload;
+    r.config = job.cfg.label;
+    r.cycles = end - base.cycle;
+    r.instructions = sys.totalInstructions() - base.insts;
+    r.atomicsCommitted = sys.totalAtomics() - base.atomics;
+    r.atomicsPer10k =
+        r.instructions ? 1e4 * static_cast<double>(r.atomicsCommitted) /
+                             static_cast<double>(r.instructions)
+                       : 0.0;
+    r.atomicsUnlocked = sys.totalCounter("atomicsUnlocked") - base.unlocked;
+    r.detectedContended =
+        sys.totalCounter("atomicsDetectedContended") - base.detected;
+    r.oracleContended =
+        sys.totalCounter("atomicsOracleContended") - base.oracle;
+    r.contendedPct =
+        r.atomicsUnlocked
+            ? 100.0 * static_cast<double>(r.oracleContended) /
+                  static_cast<double>(r.atomicsUnlocked)
+            : 0.0;
+    r.atomicsForwarded =
+        sys.totalCounter("atomicsForwarded") - base.forwarded;
+    r.atomicsPromoted =
+        sys.totalCounter("atomicsPromotedEager") - base.promoted;
+    r.forcedUnlocks = sys.totalCounter("forcedUnlocks") - base.forced;
+    r.eagerIssued = sys.totalCounter("atomicsIssuedEager") - base.eager;
+    r.lazyIssued = sys.totalCounter("atomicsIssuedLazy") - base.lazy;
+
+    // Latency means are read whole: the timing stats were empty at the
+    // func-written checkpoint, so they cover exactly this window's
+    // detail-warm + measured segment (see the header contract).
+    r.missLatency = sys.meanCacheAverage("missLatency");
+    r.dispatchToIssue = sys.meanAverage("atomicDispatchToIssue");
+    r.issueToLock = sys.meanAverage("atomicIssueToLock");
+    r.lockToUnlock = sys.meanAverage("atomicLockToUnlock");
+    r.olderUnexecuted = sys.meanAverage("olderUnexecutedAtIssue");
+    r.youngerStarted = sys.meanAverage("youngerStartedAtIssue");
+
+    std::uint64_t updates = 0, correct = 0;
+    for (CoreId c = 0; c < sys.numCores(); c++) {
+        updates += sys.core(c).predictor().stats().counterValue("updates");
+        correct += sys.core(c).predictor().stats().counterValue("correct");
+    }
+    updates -= base.predUpdates;
+    correct -= base.predCorrect;
+    r.predAccuracy = updates ? 100.0 * static_cast<double>(correct) /
+                                   static_cast<double>(updates)
+                             : 0.0;
+
+    if (job.captureStatsJson) {
+        char *buf = nullptr;
+        std::size_t len = 0;
+        if (std::FILE *mem = open_memstream(&buf, &len)) {
+            sys.dumpStatsJson(mem);
+            std::fclose(mem);
+            r.statsJson.assign(buf, len);
+            std::free(buf);
+        } else {
+            ROWSIM_WARN("open_memstream failed; statsJson not captured");
+        }
+    }
+
+    if (store && !bypassStore)
+        store->store(key, r);
+    return r;
+}
+
+RunResult
+runSampled(const std::string &workload, const SystemParams &params,
+           const std::string &label, std::uint64_t quota,
+           const SampleSpec &spec)
+{
+    ROWSIM_ASSERT(spec.active && quota > 0,
+                  "runSampled needs an active spec and a resolved quota");
+    checkSamplingCompatible(params);
+
+    const unsigned n = spec.checkpoints;
+    const std::vector<std::uint64_t> grid = sampleGrid(quota, n);
+
+    // Phase 1: one functional system warms through the grid, dropping a
+    // checkpoint at every mark. If the full grid already exists on disk
+    // the func run is skipped entirely (the embedded config fingerprint
+    // protects against restoring a stale layout into the wrong config).
+    std::vector<std::string> paths(n);
+    bool allExist = true;
+    for (unsigned k = 0; k < n; k++) {
+        paths[k] = sampleCkptPath(workload, label, params.numCores,
+                                  params.seed, quota, n, k);
+        std::error_code ec;
+        if (!std::filesystem::exists(paths[k], ec))
+            allExist = false;
+    }
+    if (!allExist) {
+        SystemParams fp = params;
+        fp.mode = "func";
+        const WorkloadProfile profile = profileFor(workload);
+        System sys(fp, makeStreams(profile, fp.numCores, fp.seed));
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(paths[0]).parent_path(), ec);
+        for (unsigned k = 0; k < n; k++) {
+            if (grid[k] > 0)
+                sys.runFunctional(quota, grid[k]);
+            sys.saveCheckpoint(paths[k]);
+        }
+    }
+
+    // Phase 2: the measurement windows, as ordinary sweep jobs under
+    // the environment's isolation / retry policy.
+    std::vector<SweepJob> jobs(n);
+    for (unsigned k = 0; k < n; k++) {
+        SweepJob &j = jobs[k];
+        j.workload = workload;
+        j.cfg.label = windowLabel(label, spec, quota, k);
+        j.numCores = params.numCores;
+        j.seed = params.seed;
+        j.ckptPath = paths[k];
+        j.windowParams = params;
+        j.windowStartIters = grid[k];
+        j.windowWarmIters = spec.warmIters;
+        j.windowIters = spec.detailIters;
+    }
+    const std::vector<RunResult> wins = runSweep(jobs);
+
+    RunResult r;
+    r.workload = workload;
+    r.config = label;
+    for (unsigned k = 0; k < n; k++) {
+        if (!wins[k].ok()) {
+            r.status = wins[k].status;
+            r.attempts = wins[k].attempts;
+            r.error = strprintf("sampling window %u (%s): %s", k,
+                                jobs[k].cfg.label.c_str(),
+                                wins[k].error.c_str());
+            return r;
+        }
+    }
+
+    // Phase 3: batch-means aggregation. Every metric gets a mean,
+    // stddev, and Student-t CI over the window values; additive
+    // counters are extrapolated by quota / detailIters into whole-run
+    // estimates, which also fill the headline RunResult fields (so a
+    // fig09 ranking of sampled runs works unchanged).
+    const double scale = static_cast<double>(quota) /
+                         static_cast<double>(spec.detailIters);
+    std::string metricsJson;
+    for (const MetricDef &m : kSampledMetrics) {
+        double sum = 0.0;
+        for (unsigned k = 0; k < n; k++)
+            sum += m.get(wins[k]);
+        const double mean = sum / n;
+        double s2 = 0.0;
+        for (unsigned k = 0; k < n; k++) {
+            const double d = m.get(wins[k]) - mean;
+            s2 += d * d;
+        }
+        const double stddev = n > 1 ? std::sqrt(s2 / (n - 1)) : 0.0;
+        const double estimate = m.extrapolate ? mean * scale : mean;
+        m.set(r, estimate);
+
+        std::string ci = "null";
+        if (n > 1) {
+            const double p = 1.0 - (1.0 - spec.confidence) / 2.0;
+            // CI of the window mean; for extrapolated counters the
+            // same scale applies to the mean and the halfwidth.
+            const double cs = m.extrapolate ? scale : 1.0;
+            const double hw =
+                tQuantile(p, n - 1) * stddev / std::sqrt(double(n)) * cs;
+            ci = strprintf("{\"confidence\":%.6g,\"halfwidth\":%.17g,"
+                           "\"lo\":%.17g,\"hi\":%.17g}",
+                           spec.confidence, hw, estimate - hw,
+                           estimate + hw);
+        }
+        if (!metricsJson.empty())
+            metricsJson += ",";
+        metricsJson += strprintf(
+            "\"%s\":{\"mean\":%.17g,\"stddev\":%.17g,\"estimate\":%.17g,"
+            "\"extrapolated\":%s,\"ci\":%s}",
+            m.name, mean, stddev, estimate,
+            m.extrapolate ? "true" : "false", ci.c_str());
+    }
+
+    std::string gridJson, windowsJson;
+    for (unsigned k = 0; k < n; k++) {
+        if (k) {
+            gridJson += ",";
+            windowsJson += ",";
+        }
+        gridJson += strprintf(
+            "%llu", static_cast<unsigned long long>(grid[k]));
+        std::string wm;
+        for (const MetricDef &m : kSampledMetrics) {
+            if (!wm.empty())
+                wm += ",";
+            wm += strprintf("\"%s\":%.17g", m.name, m.get(wins[k]));
+        }
+        windowsJson += strprintf(
+            "{\"k\":%u,\"mark\":%llu,\"fromCache\":%s,\"attempts\":%u,"
+            "\"metrics\":{%s}}",
+            k, static_cast<unsigned long long>(grid[k]),
+            wins[k].fromCache ? "true" : "false", wins[k].attempts,
+            wm.c_str());
+    }
+
+    r.samplingJson = strprintf(
+        "{\"spec\":{\"checkpoints\":%u,\"warmIters\":%llu,"
+        "\"detailIters\":%llu,\"confidence\":%.6g},\"quota\":%llu,"
+        "\"grid\":[%s],\"windows\":[%s],\"metrics\":{%s}}",
+        n, static_cast<unsigned long long>(spec.warmIters),
+        static_cast<unsigned long long>(spec.detailIters), spec.confidence,
+        static_cast<unsigned long long>(quota), gridJson.c_str(),
+        windowsJson.c_str(), metricsJson.c_str());
+    return r;
+}
+
+} // namespace rowsim

@@ -106,6 +106,22 @@ Deser::u64()
     return v;
 }
 
+std::uint64_t
+Deser::vu64()
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        need(1);
+        const std::uint8_t byte = data_[pos_++];
+        if (shift == 63 && byte > 1)
+            throw SnapshotError("varint overflows 64 bits");
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+    }
+    throw SnapshotError("varint longer than 10 bytes");
+}
+
 bool
 Deser::b()
 {

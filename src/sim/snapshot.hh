@@ -39,8 +39,13 @@ struct MicroOp;
 
 /** Current on-disk snapshot format version. Bumped on any incompatible
  *  payload layout change; readers reject other versions by name.
- *  v2: the stats pass carries time-series engine state. */
-constexpr std::uint32_t snapshotFormatVersion = 2;
+ *  v2: the stats pass carries time-series engine state.
+ *  v3: the value memory serializes as delta-varint (sorted addresses as
+ *      LEB128 gaps, values as LEB128) — it dominates checkpoint size on
+ *      long runs and its save/restore cost bounds the SMARTS sampling
+ *      speedup. Changes the digested byte stream, so the golden digests
+ *      were regenerated in the same commit. */
+constexpr std::uint32_t snapshotFormatVersion = 3;
 
 /** Named failure of any snapshot operation: truncated or corrupted
  *  files, format-version skew, configuration mismatch, section drift,
@@ -87,6 +92,20 @@ class Ser
 
     void b(bool v) { u8(v ? 1 : 0); }
 
+    /** Unsigned LEB128: 1 byte for values < 128, up to 10 for the full
+     *  u64 range. The value-memory encoder (sorted address gaps, small
+     *  data words) is the intended user — bulk state whose fixed-width
+     *  encoding would dominate image size and checkpoint I/O. */
+    void
+    vu64(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        buf_.push_back(static_cast<std::uint8_t>(v));
+    }
+
     /** Doubles travel as IEEE-754 bit patterns: exact round-trips, and
      *  bit-identical images whenever the computation that produced the
      *  value is (all digested state is integral, keeping cross-compiler
@@ -129,6 +148,7 @@ class Deser
     std::uint16_t u16();
     std::uint32_t u32();
     std::uint64_t u64();
+    std::uint64_t vu64();
     bool b();
     double f64();
     std::string str();

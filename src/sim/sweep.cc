@@ -21,6 +21,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "sim/resultstore.hh"
+#include "sim/sampling.hh"
 
 namespace rowsim
 {
@@ -113,6 +114,8 @@ executeJob(const SweepJob &job, std::size_t index)
         std::this_thread::sleep_for(
             std::chrono::milliseconds(job.injectHangMs));
     }
+    if (!job.ckptPath.empty())
+        return runDetailWindow(job);
     return runExperiment(job.workload, job.cfg, job.numCores, job.quota,
                          job.seed, job.captureStatsJson);
 }

@@ -51,6 +51,23 @@ struct SweepJob
      *  (determinism audits; large, so off by default). */
     bool captureStatsJson = false;
 
+    // ---- SMARTS measurement-window support (src/sim/sampling.cc) ----
+    // A non-empty ckptPath turns the job into one detail window of a
+    // sampled run: restore the (func-warmed) checkpoint, detail-warm
+    // to windowStartIters + windowWarmIters, then measure exactly
+    // windowIters more iterations per core and report the deltas.
+    // `cfg` then only carries the window's reporting label; the
+    // simulated configuration comes from windowParams (ExpConfig
+    // cannot express every ablation runExperimentParams can).
+    std::string ckptPath;
+    SystemParams windowParams;
+    /** Checkpoint mark m_k in per-core committed iterations. */
+    std::uint64_t windowStartIters = 0;
+    /** Detail warm-up iterations before measurement starts. */
+    std::uint64_t windowWarmIters = 0;
+    /** Measured iterations per core. */
+    std::uint64_t windowIters = 0;
+
     // Resilience-drill support (tests + the CI fault drill): make the
     // worker misbehave before simulating. Under process isolation a
     // crash is a real SIGABRT and a hang trips the timeout; under

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -59,6 +60,53 @@ class System
 
     /** Advance exactly @p cycles (micro-tests). */
     void runCycles(Cycle cycles);
+
+    // ---- functional fast mode (src/sim/funcmode.cc) ----
+
+    /**
+     * Run the functional fast-mode interpreter: every cycle each
+     * unhalted core architecturally retires a batch of micro-ops —
+     * values, caches, directory state, and branch/RoW predictors stay
+     * warm via the synchronous funcAccess path — with no out-of-order
+     * bookkeeping and nothing ever in flight. Same quota/warmup
+     * contract as run()/runWarmup(): when @p warm_iters is non-zero the
+     * loop returns (cores unhalted) once every core committed that
+     * many iterations, and the state can be checkpointed and resumed
+     * in either mode at any cycle boundary. Refused (fatal) under
+     * fault injection, whose per-tick RNG draws have no functional
+     * equivalent. Must start from a quiesced system (nothing in
+     * flight), which construction and drain() both guarantee.
+     */
+    Cycle runFunctional(std::uint64_t iter_quota,
+                        std::uint64_t warm_iters = 0);
+
+    /**
+     * Functionally retire until core @p c has committed exactly
+     * @p targets[c] instructions (targets below the current counts are
+     * already met). The cross-validation drill runs detail to quota,
+     * reads each core's committed count, and replays a func run to the
+     * same per-core counts before comparing funcStateDigest()s.
+     */
+    void runFunctionalToInstCounts(
+        const std::vector<std::uint64_t> &targets);
+
+    /**
+     * SHA-256 hex digest of the mode-independent architectural facts:
+     * config fingerprint, per-core committed instruction / atomic /
+     * iteration counts, and the functional memory image. Cache arrays,
+     * predictors, and LRU state are deliberately excluded — they are
+     * timing-dependent and legitimately differ between modes — so this
+     * digest is equal between a detail run and a func run of the same
+     * order-insensitive workload stopped at the same per-core counts
+     * (see DESIGN.md, functional/detail state contract).
+     */
+    std::string funcStateDigest() const;
+
+    /** Per-component digests of the architectural pass, in save order
+     *  (one entry per snapshot section marker: cycle, core0.., memsys,
+     *  faults). CI uses these to turn a bare golden-digest mismatch
+     *  into a named-structure diff. */
+    std::vector<std::pair<std::string, std::string>> sectionDigests() const;
 
     // ---- checkpoint / restore (see src/sim/snapshot.hh) ----
 

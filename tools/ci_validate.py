@@ -36,6 +36,30 @@ Subcommands:
   heartbeat-schema PATH         ROWSIM_HEARTBEAT JSONL stream: event
                                 schemas (run/job/sweep), per-job
                                 lifecycle ordering, final sweep tallies.
+  sampling-schema PATH          sampled-run report ("sampling" object in
+                                a run report / JSONL, or the raw
+                                object): spec shape, checkpoint grid
+                                arithmetic, one window per checkpoint,
+                                window/aggregate metric consistency,
+                                extrapolation factors, well-formed
+                                error bars.
+  sampling-speedup PERF_JSON [--min-speedup X]
+                                BENCH history: the latest sampled entry
+                                must beat the latest cold-detail entry
+                                by at least X (default 10) in wall_ms
+                                on every shared workload.
+  sampling-contain SAMPLED FULL [--metric M]... [--slack S] [--rel R]
+                                sampled run reports vs full-detail run
+                                reports (JSONL each): every full-detail
+                                value lies within max(S * CI half-width,
+                                R * estimate) of the sampled estimate
+                                (defaults S=3, R=0.03 — the CI absorbs
+                                sampling noise, the floor the SMARTS
+                                steady-state bias), and wherever two
+                                configs' unwidened CIs are disjoint the
+                                full-detail ranking matches the sampled
+                                ranking — the fig09 "ranking within
+                                error bars" gate.
   selftest                      run the built-in unit tests.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
@@ -77,25 +101,62 @@ def validate_perf_schema(doc, min_entries=1):
     return len(doc)
 
 
-def validate_history_stability(doc):
-    """All entries of a same-build history must agree on sim_cycles.
+def _history_group(entry):
+    """The determinism-comparison group of one history entry.
 
-    The simulator is deterministic: two runs of one binary simulate the
-    same machine, so any sim_cycles difference inside one file is a
-    determinism bug. (Cross-commit comparisons do not belong here.)
+    Detail, functional, and sampled runs of one build legitimately
+    report different sim_cycles, and so do runs at different iteration
+    quotas; only runs of the same kind must agree. Entries predate the
+    mode/sampled/quota host fields, so each defaults to the historical
+    behaviour (detail mode, unsampled, per-workload default quota).
+    """
+    host = entry.get("host", {})
+    if not isinstance(host, dict):
+        host = {}
+    return (host.get("mode", "detail"), host.get("sampled", "off"),
+            host.get("quota", "default"))
+
+
+def validate_history_stability(doc):
+    """Same-kind entries of a same-build history must agree on
+    sim_cycles.
+
+    The simulator is deterministic: two runs of one binary in one
+    execution mode simulate the same machine, so any sim_cycles
+    difference inside one (mode, sampled) group is a determinism bug.
+    Entries of other kinds in the same file (the detail/func/sampled
+    perf triple) are grouped apart, not compared. (Cross-commit
+    comparisons do not belong here.)
     """
     validate_perf_schema(doc, min_entries=2)
-    base = doc[0]["workloads"]
-    for i, entry in enumerate(doc[1:], start=1):
-        for w, m in base.items():
-            if w not in entry["workloads"]:
-                raise ValidationError(f"entry {i}: workload {w} missing")
-            got = entry["workloads"][w]["sim_cycles"]
-            if got != m["sim_cycles"]:
-                raise ValidationError(
-                    f"workload {w}: sim_cycles drifted between runs of "
-                    f"the same build ({m['sim_cycles']} vs {got}) — "
-                    f"determinism regression")
+    groups = {}
+    for i, entry in enumerate(doc):
+        groups.setdefault(_history_group(entry), []).append((i, entry))
+    compared = 0
+    for (mode, sampled, quota), entries in groups.items():
+        base_i, base = entries[0]
+        for i, entry in entries[1:]:
+            # perf_baseline accepts a workload subset, so entries of one
+            # group may cover different workloads; determinism is judged
+            # on the workloads a pair shares.
+            shared = [w for w in base["workloads"]
+                      if w in entry["workloads"]]
+            for w in shared:
+                got = entry["workloads"][w]["sim_cycles"]
+                want = base["workloads"][w]["sim_cycles"]
+                if got != want:
+                    raise ValidationError(
+                        f"workload {w}: sim_cycles drifted between runs "
+                        f"of the same build "
+                        f"(mode={mode}, sampled={sampled}, "
+                        f"quota={quota}: {want} vs {got}) — determinism "
+                        f"regression")
+            if shared:
+                compared += 1
+    if compared == 0:
+        raise ValidationError(
+            "no two entries share a (mode, sampled, quota) group with a "
+            "common workload — nothing to compare")
     return len(doc)
 
 
@@ -480,6 +541,285 @@ def validate_store(path):
     return len(names), versions
 
 
+def _validate_sampling_object(s, where):
+    """Validate one sampled-run summary (the "sampling" object emitted
+    by src/sim/sampling.cc)."""
+    spec = s.get("spec", {})
+    n = spec.get("checkpoints", 0)
+    warm = spec.get("warmIters", -1)
+    detail = spec.get("detailIters", 0)
+    conf = spec.get("confidence", 0)
+    if n < 1 or warm < 0 or detail < 1:
+        raise ValidationError(
+            f"{where}: bad spec {spec!r} (need checkpoints >= 1, "
+            f"warmIters >= 0, detailIters >= 1)")
+    if not 0 < conf < 1:
+        raise ValidationError(
+            f"{where}: confidence {conf} out of (0, 1)")
+    quota = s.get("quota", 0)
+    if quota <= 0:
+        raise ValidationError(f"{where}: quota must be > 0")
+
+    grid = s.get("grid", [])
+    if len(grid) != n:
+        raise ValidationError(
+            f"{where}: grid has {len(grid)} marks, spec asks for {n}")
+    for k, mark in enumerate(grid):
+        if mark != quota * k // n:
+            raise ValidationError(
+                f"{where}: grid[{k}] = {mark}, the SMARTS layout "
+                f"requires floor({quota}*{k}/{n}) = {quota * k // n}")
+    if warm + detail > quota:
+        raise ValidationError(
+            f"{where}: window ({warm}+{detail} iterations) does not fit "
+            f"the quota {quota}")
+
+    windows = s.get("windows", [])
+    if len(windows) != n:
+        raise ValidationError(
+            f"{where}: {len(windows)} windows for {n} checkpoints — "
+            f"every checkpoint must contribute exactly one window")
+    metrics = s.get("metrics", {})
+    if not metrics:
+        raise ValidationError(f"{where}: no aggregate metrics")
+    for k, w in enumerate(windows):
+        if w.get("k") != k or w.get("mark") != grid[k]:
+            raise ValidationError(
+                f"{where}: window {k} reports k={w.get('k')} "
+                f"mark={w.get('mark')}, expected k={k} mark={grid[k]}")
+        if w.get("attempts", 0) < 1:
+            raise ValidationError(
+                f"{where}: window {k} attempts must be >= 1")
+        wm = w.get("metrics", {})
+        if set(wm) != set(metrics):
+            raise ValidationError(
+                f"{where}: window {k} metric set differs from the "
+                f"aggregate ({sorted(set(wm) ^ set(metrics))})")
+
+    scale = quota / detail
+    for name, m in metrics.items():
+        values = [w["metrics"][name] for w in windows]
+        mean = sum(values) / n
+        tol = 1e-9 * (abs(mean) + 1)
+        if abs(m.get("mean", float("nan")) - mean) > tol:
+            raise ValidationError(
+                f"{where}, {name}: aggregate mean {m.get('mean')} is "
+                f"not the mean of its windows ({mean})")
+        expect = mean * scale if m.get("extrapolated") else mean
+        tol = 1e-9 * (abs(expect) + 1)
+        if abs(m.get("estimate", float("nan")) - expect) > tol:
+            raise ValidationError(
+                f"{where}, {name}: estimate {m.get('estimate')} "
+                f"inconsistent with mean x "
+                f"{'quota/detailIters' if m.get('extrapolated') else '1'}"
+                f" = {expect}")
+        if m.get("stddev", -1) < 0:
+            raise ValidationError(f"{where}, {name}: negative stddev")
+        ci = m.get("ci")
+        if ci is None:
+            if n > 1:
+                raise ValidationError(
+                    f"{where}, {name}: no CI despite {n} windows")
+            continue
+        if ci.get("confidence") != conf:
+            raise ValidationError(
+                f"{where}, {name}: CI confidence {ci.get('confidence')} "
+                f"differs from the spec's {conf}")
+        hw = ci.get("halfwidth", -1)
+        lo, hi = ci.get("lo", float("nan")), ci.get("hi", float("nan"))
+        if hw < 0:
+            raise ValidationError(
+                f"{where}, {name}: negative CI half-width")
+        est = m["estimate"]
+        tol = 1e-9 * (abs(est) + hw + 1)
+        if abs((est - hw) - lo) > tol or abs((est + hw) - hi) > tol:
+            raise ValidationError(
+                f"{where}, {name}: error bar [{lo}, {hi}] is not "
+                f"estimate +/- halfwidth ({est} +/- {hw})")
+
+
+def _extract_sampling(doc):
+    if "sampling" in doc:
+        return doc["sampling"]
+    if "spec" in doc and "windows" in doc:
+        return doc
+    return None
+
+
+def validate_sampling(text):
+    """Validate sampled-run output: a whole JSON document (run report or
+    raw sampling object) or a JSONL stream of run reports. Returns the
+    number of sampling objects validated."""
+    try:
+        doc = json.loads(text)
+        docs = [("document", _extract_sampling(doc))] \
+            if isinstance(doc, dict) else []
+    except json.JSONDecodeError:
+        docs = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValidationError(f"line {lineno}: bad JSON: {e}")
+            docs.append((f"line {lineno}", _extract_sampling(rec)))
+    n = 0
+    for where, s in docs:
+        if s is None:
+            continue
+        _validate_sampling_object(s, where)
+        n += 1
+    if n == 0:
+        raise ValidationError("no sampling records")
+    return n
+
+
+def validate_sampling_speedup(doc, min_speedup=10.0):
+    """The latest sampled history entry must beat the latest cold
+    detail entry by at least *min_speedup* in wall_ms per workload.
+
+    This is the paper's reason for sampling to exist; a sampled run
+    slower than a tenth of detail means the window layout (or a
+    regression) ate the win. Entries are matched by the perf triple's
+    host fields: detail = mode detail / sampled off.
+    """
+    validate_perf_schema(doc)
+    detail_by_quota = {}
+    sampled = sampled_quota = None
+    for entry in doc:  # latest of each kind wins
+        mode, samp, quota = _history_group(entry)
+        if mode == "detail" and samp == "off":
+            detail_by_quota[quota] = entry
+        elif samp != "off":
+            sampled, sampled_quota = entry, quota
+    if sampled is None:
+        raise ValidationError(
+            "need a sampled entry (host.sampled) in the history")
+    # Compare like with like: the detail baseline must have run at the
+    # sampled entry's quota, or the ratio measures the quota, not the
+    # sampling machinery.
+    detail = detail_by_quota.get(sampled_quota)
+    if detail is None:
+        raise ValidationError(
+            f"no detail entry at the sampled entry's quota "
+            f"({sampled_quota}) to compare against")
+    shared = set(detail["workloads"]) & set(sampled["workloads"])
+    if not shared:
+        raise ValidationError(
+            "the detail and sampled entries share no workloads")
+    worst = None
+    for w in sorted(shared):
+        ratio = (detail["workloads"][w]["wall_ms"]
+                 / sampled["workloads"][w]["wall_ms"])
+        if worst is None or ratio < worst[1]:
+            worst = (w, ratio)
+        if ratio < min_speedup:
+            raise ValidationError(
+                f"workload {w}: sampled run is only {ratio:.2f}x faster "
+                f"than cold detail (gate: >= {min_speedup}x)")
+    return len(shared), worst
+
+
+def _jsonl_records(text, what):
+    recs = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            recs.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"{what} line {lineno}: bad JSON: {e}")
+    if not recs:
+        raise ValidationError(f"no {what} records")
+    return recs
+
+
+def validate_sampling_containment(sampled_text, full_text,
+                                  metrics=("cycles",), slack=3.0,
+                                  rel=0.03):
+    """Sampled estimates must contain the full-detail truth.
+
+    For every (workload, config) present in both report streams and
+    every requested metric: the full-detail value must lie within
+    max(slack * CI half-width, rel * |estimate|) of the sampled
+    estimate. The widened CI absorbs sampling noise (short windows have
+    startup transients the batch-means CI underestimates); the relative
+    floor absorbs the systematic SMARTS bias — windows measure steady
+    state, the full run includes the ramp, and no amount of
+    window-to-window agreement shrinks that gap (the literature's
+    typical figure is ~3%). And the fig09 acceptance: wherever two
+    configs of one workload have disjoint *unwidened* CIs — the sampled
+    run's own error bars claim to distinguish them — the full-detail
+    ordering must agree. Returns (pairs checked, ranking comparisons
+    made).
+    """
+    sampled = {}
+    for rec in _jsonl_records(sampled_text, "sampled"):
+        s = _extract_sampling(rec)
+        if s is None:
+            raise ValidationError(
+                f"sampled record {rec.get('workload')}/"
+                f"{rec.get('config')} has no sampling object")
+        _validate_sampling_object(
+            s, f"{rec.get('workload')}/{rec.get('config')}")
+        sampled[(rec.get("workload"), rec.get("config"))] = s
+    full = {(rec.get("workload"), rec.get("config")): rec
+            for rec in _jsonl_records(full_text, "full-detail")}
+
+    checked = 0
+    intervals = {}  # (workload, metric) -> [(config, lo, hi, estimate)]
+    for key, s in sampled.items():
+        if key not in full:
+            raise ValidationError(
+                f"sampled run {key[0]}/{key[1]} has no full-detail "
+                f"counterpart")
+        for metric in metrics:
+            m = s["metrics"].get(metric)
+            if m is None:
+                raise ValidationError(
+                    f"{key[0]}/{key[1]}: sampled report lacks metric "
+                    f"{metric!r}")
+            truth = full[key].get(metric)
+            if truth is None:
+                raise ValidationError(
+                    f"{key[0]}/{key[1]}: full-detail report lacks "
+                    f"metric {metric!r}")
+            ci = m.get("ci")
+            hw = ci["halfwidth"] if ci else 0.0
+            est = m["estimate"]
+            delta = max(hw * slack, abs(est) * rel)
+            lo, hi = est - delta, est + delta
+            if not lo <= truth <= hi:
+                raise ValidationError(
+                    f"{key[0]}/{key[1]}, {metric}: full-detail value "
+                    f"{truth} outside the widened sampled interval "
+                    f"[{lo:.6g}, {hi:.6g}] (slack {slack}x, rel floor "
+                    f"{rel:g})")
+            intervals.setdefault((key[0], metric), []).append(
+                (key[1], est - hw, est + hw, est, truth))
+            checked += 1
+
+    rankings = 0
+    for (workload, metric), rows in intervals.items():
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                ca, loa, hia, esta, trutha = rows[i]
+                cb, lob, hib, estb, truthb = rows[j]
+                if hia < lob or hib < loa:  # CIs disjoint: a real claim
+                    rankings += 1
+                    if (esta < estb) != (trutha < truthb):
+                        raise ValidationError(
+                            f"{workload}, {metric}: sampled run ranks "
+                            f"{ca} vs {cb} as {esta:.6g} vs {estb:.6g} "
+                            f"with disjoint error bars, but full detail "
+                            f"says {trutha} vs {truthb} — ranking "
+                            f"flipped outside the error bars")
+    return checked, rankings
+
+
 def _selftest():
     import copy
     import unittest
@@ -580,6 +920,69 @@ def _selftest():
                     "jobs": 2, "ok": 2, "failed": 0,
                     "isolation": "thread"}),
     ]
+
+    def make_sampling(quota=100, n=4, warm=2, detail=5, conf=0.95,
+                      cycles=(10.0, 12.0, 11.0, 11.0)):
+        """A consistent sampled-run report, built with the simulator's
+        own aggregation arithmetic."""
+        grid = [quota * k // n for k in range(n)]
+        mean = sum(cycles) / n
+        stddev = (sum((v - mean) ** 2 for v in cycles)
+                  / (n - 1)) ** 0.5 if n > 1 else 0.0
+        scale = quota / detail
+        est = mean * scale
+        hw = 1.7 * stddev * scale  # any nonnegative width is schema-legal
+        metrics = {
+            "cycles": {"mean": mean, "stddev": stddev, "estimate": est,
+                       "extrapolated": True,
+                       "ci": {"confidence": conf, "halfwidth": hw,
+                              "lo": est - hw, "hi": est + hw}},
+            "missLatency": {"mean": 8.0, "stddev": 0.0, "estimate": 8.0,
+                            "extrapolated": False,
+                            "ci": {"confidence": conf, "halfwidth": 0.0,
+                                   "lo": 8.0, "hi": 8.0}},
+        }
+        windows = [{"k": k, "mark": grid[k], "fromCache": False,
+                    "attempts": 1,
+                    "metrics": {"cycles": cycles[k], "missLatency": 8.0}}
+                   for k in range(n)]
+        return {"workload": "cq", "config": "eager",
+                "sampling": {
+                    "spec": {"checkpoints": n, "warmIters": warm,
+                             "detailIters": detail, "confidence": conf},
+                    "quota": quota, "grid": grid, "windows": windows,
+                    "metrics": metrics}}
+
+    good_sampling = json.dumps(make_sampling())
+
+    def make_speedup_history(ratio=20.0):
+        detail = {"host": {"mode": "detail", "sampled": "off"},
+                  "workloads": {"cq": {"sim_cycles": 1000,
+                                       "wall_ms": 100.0 * ratio / 20,
+                                       "cycles_per_sec": 1e4}}}
+        sampled = {"host": {"mode": "detail", "sampled": "5:2:10"},
+                   "workloads": {"cq": {"sim_cycles": 990,
+                                        "wall_ms": 5.0 * 20 / 20,
+                                        "cycles_per_sec": 2e5}}}
+        detail["workloads"]["cq"]["wall_ms"] = 5.0 * ratio
+        return [detail, sampled]
+
+    def make_containment(truth=220.0, flip=False):
+        """Sampled reports for two configs + matching full-detail
+        reports. The configs' own CIs are disjoint (~[192, 248] vs
+        ~[272, 328]) but the 3x-widened intervals overlap, so a *flip*
+        stays containment-clean and must be caught by the ranking
+        gate; *truth* moves eager's full-detail cycles."""
+        a = make_sampling(cycles=(10.0, 12.0, 11.0, 11.0))  # est 220
+        b = make_sampling(cycles=(14.0, 16.0, 15.0, 15.0))  # est 300
+        b["config"] = "lazy"
+        sampled = "\n".join(json.dumps(r) for r in (a, b))
+        full_a = {"workload": "cq", "config": "eager",
+                  "cycles": 290.0 if flip else truth}
+        full_b = {"workload": "cq", "config": "lazy",
+                  "cycles": 280.0 if flip else 300.0}
+        full = "\n".join(json.dumps(r) for r in (full_a, full_b))
+        return sampled, full
 
     def make_store_entry(payload=b"result-bytes", version=1):
         key = hashlib.sha256(b"some key preimage").digest()
@@ -801,6 +1204,150 @@ def _selftest():
             with self.assertRaises(ValidationError):
                 validate_heartbeat([""])
 
+        def test_sampling_accepts_good_report(self):
+            self.assertEqual(validate_sampling(good_sampling), 1)
+
+        def test_sampling_accepts_raw_object(self):
+            raw = json.dumps(json.loads(good_sampling)["sampling"])
+            self.assertEqual(validate_sampling(raw), 1)
+
+        def test_sampling_accepts_jsonl(self):
+            self.assertEqual(
+                validate_sampling(good_sampling + "\n" + good_sampling),
+                2)
+
+        def test_sampling_rejects_off_grid_mark(self):
+            rec = json.loads(good_sampling)
+            rec["sampling"]["grid"][2] = 51
+            with self.assertRaisesRegex(ValidationError, "SMARTS"):
+                validate_sampling(json.dumps(rec))
+
+        def test_sampling_rejects_missing_window(self):
+            rec = json.loads(good_sampling)
+            del rec["sampling"]["windows"][3]
+            with self.assertRaisesRegex(ValidationError, "window"):
+                validate_sampling(json.dumps(rec))
+
+        def test_sampling_rejects_mean_drift(self):
+            rec = json.loads(good_sampling)
+            rec["sampling"]["metrics"]["cycles"]["mean"] += 0.5
+            with self.assertRaisesRegex(ValidationError, "mean"):
+                validate_sampling(json.dumps(rec))
+
+        def test_sampling_rejects_bad_extrapolation(self):
+            rec = json.loads(good_sampling)
+            m = rec["sampling"]["metrics"]["cycles"]
+            m["estimate"] = m["mean"]  # extrapolated but unscaled
+            with self.assertRaisesRegex(ValidationError, "estimate"):
+                validate_sampling(json.dumps(rec))
+
+        def test_sampling_rejects_skewed_error_bar(self):
+            rec = json.loads(good_sampling)
+            rec["sampling"]["metrics"]["cycles"]["ci"]["lo"] -= 1.0
+            with self.assertRaisesRegex(ValidationError, "error bar"):
+                validate_sampling(json.dumps(rec))
+
+        def test_sampling_rejects_empty_input(self):
+            with self.assertRaises(ValidationError):
+                validate_sampling("{}")
+
+        def test_speedup_accepts_fast_sampled_run(self):
+            n, worst = validate_sampling_speedup(make_speedup_history())
+            self.assertEqual(n, 1)
+            self.assertAlmostEqual(worst[1], 20.0)
+
+        def test_speedup_rejects_slow_sampled_run(self):
+            with self.assertRaisesRegex(ValidationError, "faster"):
+                validate_sampling_speedup(make_speedup_history(4.0))
+
+        def test_speedup_needs_both_kinds(self):
+            with self.assertRaisesRegex(ValidationError, "sampled"):
+                validate_sampling_speedup(good_perf)
+
+        def test_containment_accepts_contained_truth(self):
+            sampled, full = make_containment()
+            checked, rankings = \
+                validate_sampling_containment(sampled, full)
+            self.assertEqual(checked, 2)
+            self.assertEqual(rankings, 1)
+
+        def test_containment_rejects_escaped_truth(self):
+            sampled, full = make_containment(truth=500.0)
+            with self.assertRaisesRegex(ValidationError, "outside"):
+                validate_sampling_containment(sampled, full)
+
+        def test_containment_rejects_ranking_flip(self):
+            sampled, full = make_containment(flip=True)
+            with self.assertRaisesRegex(ValidationError, "flipped"):
+                validate_sampling_containment(sampled, full)
+
+        def test_containment_rel_floor_absorbs_smarts_bias(self):
+            # Zero window variance collapses the CI to a point; the
+            # relative floor still tolerates the systematic
+            # steady-state bias, but not an estimate that is simply
+            # wrong.
+            a = make_sampling(cycles=(11.0, 11.0, 11.0, 11.0))  # 220
+            sampled = json.dumps(a)
+            near = json.dumps({"workload": "cq", "config": "eager",
+                               "cycles": 224.0})  # within 3%
+            checked, _ = validate_sampling_containment(sampled, near)
+            self.assertEqual(checked, 1)
+            far = json.dumps({"workload": "cq", "config": "eager",
+                              "cycles": 240.0})  # 9% off
+            with self.assertRaisesRegex(ValidationError, "outside"):
+                validate_sampling_containment(sampled, far)
+
+        def test_containment_rejects_missing_counterpart(self):
+            sampled, full = make_containment()
+            full = full.splitlines()[0]
+            with self.assertRaisesRegex(ValidationError, "counterpart"):
+                validate_sampling_containment(sampled, full)
+
+        def test_stability_groups_modes_apart(self):
+            # A detail/func/sampled triple with disagreeing sim_cycles
+            # across kinds but agreement within each kind must pass.
+            mixed = copy.deepcopy(good_perf)
+            func = copy.deepcopy(good_perf[0])
+            func["host"] = {"mode": "func", "sampled": "off"}
+            func["workloads"]["cq"]["sim_cycles"] = 7
+            samp = copy.deepcopy(good_perf[0])
+            samp["host"] = {"mode": "detail", "sampled": "5:2:10"}
+            samp["workloads"]["cq"]["sim_cycles"] = 90
+            mixed += [func, samp]
+            self.assertEqual(validate_history_stability(mixed), 4)
+
+        def test_stability_rejects_drift_within_a_mode(self):
+            mixed = copy.deepcopy(good_perf)
+            for e in mixed:
+                e["host"] = {"mode": "func"}
+            mixed[1]["workloads"]["cq"]["sim_cycles"] = 101
+            with self.assertRaisesRegex(ValidationError, "mode=func"):
+                validate_history_stability(mixed)
+
+        def test_stability_needs_a_comparable_pair(self):
+            lone = copy.deepcopy(good_perf)
+            lone[1]["host"] = {"mode": "func"}
+            with self.assertRaisesRegex(ValidationError, "group"):
+                validate_history_stability(lone)
+
+        def test_stability_groups_quotas_apart(self):
+            # A longer-quota rerun simulates more iterations: different
+            # sim_cycles is correct, not drift.
+            mixed = copy.deepcopy(good_perf)
+            long = copy.deepcopy(good_perf[0])
+            long["host"] = {"quota": "3000"}
+            long["workloads"]["cq"]["sim_cycles"] = 12345
+            mixed.append(long)
+            self.assertEqual(validate_history_stability(mixed), 3)
+
+        def test_speedup_needs_a_quota_matched_baseline(self):
+            hist = make_speedup_history()
+            for e in hist:
+                if e["host"]["sampled"] != "off":
+                    e["host"]["quota"] = "3000"
+            with self.assertRaisesRegex(ValidationError, "quota"):
+                validate_sampling_speedup(hist)
+
     suite = unittest.defaultTestLoader.loadTestsFromTestCase(SelfTest)
     result = unittest.TextTestRunner(verbosity=2).run(suite)
     return 0 if result.wasSuccessful() else 1
@@ -852,6 +1399,52 @@ def main(argv):
             with open(argv[2]) as f:
                 n, jobs = validate_heartbeat(f)
             print(f"heartbeat schema ok: {n} events, {jobs} jobs")
+            return 0
+        if cmd == "sampling-schema":
+            with open(argv[2]) as f:
+                n = validate_sampling(f.read())
+            print(f"sampling schema ok: {n} records")
+            return 0
+        if cmd == "sampling-speedup":
+            min_speedup = 10.0
+            rest = argv[3:]
+            if rest[:1] == ["--min-speedup"]:
+                min_speedup = float(rest[1])
+            with open(argv[2]) as f:
+                n, worst = validate_sampling_speedup(json.load(f),
+                                                     min_speedup)
+            print(f"sampling speedup ok: {n} workloads, worst "
+                  f"{worst[0]} at {worst[1]:.1f}x (gate "
+                  f">= {min_speedup}x)")
+            return 0
+        if cmd == "sampling-contain":
+            metrics = []
+            slack = 3.0
+            rel = 0.03
+            rest = argv[4:]
+            while rest:
+                if rest[0] == "--metric":
+                    metrics.append(rest[1])
+                    rest = rest[2:]
+                elif rest[0] == "--slack":
+                    slack = float(rest[1])
+                    rest = rest[2:]
+                elif rest[0] == "--rel":
+                    rel = float(rest[1])
+                    rest = rest[2:]
+                else:
+                    raise ValidationError(f"unknown option {rest[0]!r}")
+            with open(argv[2]) as f:
+                sampled_text = f.read()
+            with open(argv[3]) as f:
+                full_text = f.read()
+            n, rankings = validate_sampling_containment(
+                sampled_text, full_text,
+                metrics=tuple(metrics) or ("cycles",), slack=slack,
+                rel=rel)
+            print(f"sampling containment ok: {n} (run, metric) pairs "
+                  f"inside the error bars, {rankings} resolved "
+                  f"rankings consistent")
             return 0
     except ValidationError as e:
         print(f"ci_validate: {cmd}: {e}", file=sys.stderr)

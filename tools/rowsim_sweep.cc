@@ -18,6 +18,7 @@
  *   rowsim_sweep --store results/ --resume fig09 # recompute only holes
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +47,8 @@ struct CliOptions
     std::string reportPath;
     long injectCrash = -1;
     long injectHang = -1;
+    std::uint64_t quota = 0;            ///< 0 = per-workload default
+    std::vector<std::string> onlyWorkloads; ///< empty = full matrix
     SweepOptions sweep = SweepOptions::fromEnv();
 };
 
@@ -71,6 +74,12 @@ usage(FILE *out)
         "  --backoff MS         base retry backoff (doubles per attempt)\n"
         "  --strict             fail fast: abort the sweep on any failure\n"
         "  --report PATH        append one JSON line per result (- = stdout)\n"
+        "  --quota N            override every job's iteration quota\n"
+        "                       (default: per-workload figure quotas).\n"
+        "                       Long quotas are where sampled execution\n"
+        "                       (ROWSIM_SAMPLE) beats detail wall clock\n"
+        "  --workload W         restrict the matrix to workload W\n"
+        "                       (repeatable)\n"
         "  --list               print the job matrix and exit\n"
         "  --expect-cached      exit 1 if any job had to be recomputed\n"
         "  --inject-crash IDX   fault drill: job IDX aborts mid-run\n"
@@ -170,6 +179,10 @@ parseArgs(int argc, char **argv)
             o.sweep.strict = true;
         } else if (arg == "--report") {
             o.reportPath = next("--report");
+        } else if (arg == "--quota") {
+            o.quota = parseNum("--quota", next("--quota"));
+        } else if (arg == "--workload") {
+            o.onlyWorkloads.emplace_back(next("--workload"));
         } else if (arg == "--list") {
             o.list = true;
         } else if (arg == "--expect-cached") {
@@ -213,6 +226,20 @@ main(int argc, char **argv)
     }
 
     std::vector<SweepJob> jobs = jobsFor(opt.figure);
+    if (!opt.onlyWorkloads.empty()) {
+        std::erase_if(jobs, [&](const SweepJob &j) {
+            return std::find(opt.onlyWorkloads.begin(),
+                             opt.onlyWorkloads.end(),
+                             j.workload) == opt.onlyWorkloads.end();
+        });
+        if (jobs.empty())
+            ROWSIM_FATAL("rowsim_sweep: --workload filter matched no job in %s",
+                  opt.figure.c_str());
+    }
+    if (opt.quota) {
+        for (SweepJob &j : jobs)
+            j.quota = opt.quota;
+    }
     if (opt.injectCrash >= 0) {
         if (static_cast<std::size_t>(opt.injectCrash) >= jobs.size())
             ROWSIM_FATAL("rowsim_sweep: --inject-crash %ld out of range (%zu jobs)",

@@ -1,9 +1,10 @@
 /**
  * @file
- * Golden-state digest generator.
+ * Golden-state digest generator and cross-validation driver.
  *
- * Runs a small fixed suite of (workload, policy) pairs to a fixed quota
- * and prints each System::stateDigest() as JSON on stdout:
+ * Default mode runs a small fixed suite of (workload, policy) pairs to
+ * a fixed quota and prints each System::stateDigest() as JSON on
+ * stdout:
  *
  *   {"format": 1, "entries": [
  *     {"workload": "cq", "config": "eager", "cores": 4, "quota": 120,
@@ -16,7 +17,22 @@
  * is a determinism regression (or an intentional behaviour change,
  * which must regenerate the golden file in the same commit).
  *
- * Usage: state_digest [workload ...]   (default: the built-in suite)
+ * --sections prints System::sectionDigests() per suite entry instead —
+ * one digest per named state section (cycle, cores, caches, directory
+ * banks, fmem, network) — so a golden mismatch in CI can be diffed down
+ * to the drifting structure instead of reported as a bare hash
+ * inequality.
+ *
+ * --func-check runs the functional-vs-detail cross-validation drill
+ * (the nightly gate): for each order-insensitive workload x policy, a
+ * detail run is drained and digested with System::funcStateDigest(),
+ * then a fresh functional run replays to the detail run's per-core
+ * committed instruction counts and must reproduce the digest exactly.
+ * Exit status 1 on any mismatch. Only FetchAdd-only workloads qualify:
+ * with shared plain stores or CAS/Swap, the final memory image depends
+ * on interleaving, which the two modes legitimately order differently.
+ *
+ * Usage: state_digest [--sections|--func-check] [workload ...]
  */
 
 #include <cstdio>
@@ -44,6 +60,13 @@ const std::vector<std::string> kSuiteWorkloads = {
     "cq", "sps", "tatp", "canneal", "blackscholes",
 };
 
+/** Order-insensitive subset for --func-check: FetchAdd-only kernels
+ *  whose architectural end state is independent of memory-operation
+ *  interleaving across cores. */
+const std::vector<std::string> kFuncCheckWorkloads = {
+    "counter", "streamcluster", "raytrace", "freqmine", "volrend",
+};
+
 const std::vector<std::string> kSuiteConfigs = {"eager", "lazy", "row"};
 
 /** Map a golden config key to its ExpConfig (mirrored by
@@ -63,14 +86,114 @@ configByName(const std::string &name)
                  name.c_str());
 }
 
-std::string
-digestFor(const std::string &workload, const std::string &config)
+std::unique_ptr<System>
+systemFor(const std::string &workload, const std::string &config)
 {
     const SystemParams sp =
         makeParams(configByName(config), kCores, kSeed);
-    System sys(sp, makeStreams(profileFor(workload), kCores, kSeed));
-    sys.run(kQuota);
-    return sys.stateDigest();
+    return std::make_unique<System>(
+        sp, makeStreams(profileFor(workload), kCores, kSeed));
+}
+
+std::string
+digestFor(const std::string &workload, const std::string &config)
+{
+    auto sys = systemFor(workload, config);
+    sys->run(kQuota);
+    return sys->stateDigest();
+}
+
+int
+runSuite(const std::vector<std::string> &workloads, bool sections)
+{
+    std::printf("{\"format\": 1, \"entries\": [\n");
+    bool first = true;
+    for (const auto &w : workloads) {
+        for (const auto &cfg : kSuiteConfigs) {
+            if (!sections) {
+                std::printf(
+                    "%s  {\"workload\": \"%s\", \"config\": \"%s\", "
+                    "\"cores\": %u, \"quota\": %llu, \"seed\": %llu, "
+                    "\"digest\": \"%s\"}",
+                    first ? "" : ",\n", w.c_str(), cfg.c_str(), kCores,
+                    static_cast<unsigned long long>(kQuota),
+                    static_cast<unsigned long long>(kSeed),
+                    digestFor(w, cfg).c_str());
+            } else {
+                auto sys = systemFor(w, cfg);
+                sys->run(kQuota);
+                std::printf(
+                    "%s  {\"workload\": \"%s\", \"config\": \"%s\", "
+                    "\"cores\": %u, \"quota\": %llu, \"seed\": %llu, "
+                    "\"sections\": {",
+                    first ? "" : ",\n", w.c_str(), cfg.c_str(), kCores,
+                    static_cast<unsigned long long>(kQuota),
+                    static_cast<unsigned long long>(kSeed));
+                bool sfirst = true;
+                for (const auto &[name, digest] : sys->sectionDigests()) {
+                    std::printf("%s\"%s\": \"%s\"", sfirst ? "" : ", ",
+                                name.c_str(), digest.c_str());
+                    sfirst = false;
+                }
+                std::printf("}}");
+            }
+            first = false;
+        }
+    }
+    std::printf("\n]}\n");
+    return 0;
+}
+
+int
+runFuncCheck(const std::vector<std::string> &workloads)
+{
+    unsigned mismatches = 0;
+    std::printf("{\"format\": 1, \"entries\": [\n");
+    bool first = true;
+    for (const auto &w : workloads) {
+        for (const auto &cfg : kSuiteConfigs) {
+            auto detail = systemFor(w, cfg);
+            detail->run(kQuota);
+            // Detail mode writes plain-store values to the functional
+            // memory lazily at cache completion; the comparison is only
+            // meaningful once every store buffer has reached it.
+            detail->drain();
+            std::vector<std::uint64_t> targets;
+            std::uint64_t insts = 0;
+            for (CoreId c = 0; c < kCores; c++) {
+                targets.push_back(
+                    detail->core(c).committedInstructions());
+                insts += targets.back();
+            }
+            const std::string want = detail->funcStateDigest();
+
+            auto func = systemFor(w, cfg);
+            func->runFunctionalToInstCounts(targets);
+            const std::string got = func->funcStateDigest();
+            const bool match = got == want;
+            if (!match)
+                mismatches++;
+            std::printf(
+                "%s  {\"workload\": \"%s\", \"config\": \"%s\", "
+                "\"cores\": %u, \"quota\": %llu, \"seed\": %llu, "
+                "\"instructions\": %llu, \"detail\": \"%s\", "
+                "\"func\": \"%s\", \"match\": %s}",
+                first ? "" : ",\n", w.c_str(), cfg.c_str(), kCores,
+                static_cast<unsigned long long>(kQuota),
+                static_cast<unsigned long long>(kSeed),
+                static_cast<unsigned long long>(insts), want.c_str(),
+                got.c_str(), match ? "true" : "false");
+            first = false;
+        }
+    }
+    std::printf("\n], \"mismatches\": %u}\n", mismatches);
+    if (mismatches) {
+        std::fprintf(stderr,
+                     "state_digest: %u func-vs-detail mismatches\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -78,24 +201,28 @@ digestFor(const std::string &workload, const std::string &config)
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> workloads(argv + 1, argv + argc);
+    bool sections = false, funcCheck = false;
+    std::vector<std::string> workloads;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--sections")
+            sections = true;
+        else if (arg == "--func-check")
+            funcCheck = true;
+        else
+            workloads.push_back(arg);
+    }
+    if (sections && funcCheck) {
+        std::fprintf(stderr, "state_digest: --sections and --func-check "
+                             "are mutually exclusive\n");
+        return 2;
+    }
+    if (funcCheck) {
+        if (workloads.empty())
+            workloads = kFuncCheckWorkloads;
+        return runFuncCheck(workloads);
+    }
     if (workloads.empty())
         workloads = kSuiteWorkloads;
-
-    std::printf("{\"format\": 1, \"entries\": [\n");
-    bool first = true;
-    for (const auto &w : workloads) {
-        for (const auto &cfg : kSuiteConfigs) {
-            std::printf("%s  {\"workload\": \"%s\", \"config\": \"%s\", "
-                        "\"cores\": %u, \"quota\": %llu, \"seed\": %llu, "
-                        "\"digest\": \"%s\"}",
-                        first ? "" : ",\n", w.c_str(), cfg.c_str(),
-                        kCores, static_cast<unsigned long long>(kQuota),
-                        static_cast<unsigned long long>(kSeed),
-                        digestFor(w, cfg).c_str());
-            first = false;
-        }
-    }
-    std::printf("\n]}\n");
-    return 0;
+    return runSuite(workloads, sections);
 }
